@@ -1,0 +1,116 @@
+// Command censorscan runs the paper's full evaluation against the
+// simulated Indian Internet and prints each table/figure in the same shape
+// the paper reports.
+//
+// Usage:
+//
+//	censorscan [-quick] [-only table1,table2,table3,figure1,figure2,figure5,section5]
+//	censorscan -only figure2 -series        # dump the full Figure 2 series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the reduced world (fast smoke run)")
+	only := flag.String("only", "", "comma-separated experiment list (default: all)")
+	series := flag.Bool("series", false, "dump full per-website series for figures 2 and 5")
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	start := time.Now()
+	s := experiments.NewSuite(opt)
+	fmt.Fprintf(os.Stderr, "world built in %v (%v)\n", time.Since(start), s.World.Net)
+
+	if run("table1") {
+		stage(func() { fmt.Print(experiments.RenderTable1(s.Table1(experiments.OONITargets))) })
+	}
+	if run("table2") {
+		stage(func() { fmt.Print(experiments.RenderTable2(s.Table2())) })
+	}
+	if run("figure5") {
+		stage(func() {
+			rows := s.Figure5()
+			fmt.Print(experiments.RenderFigure5(rows))
+			if *series {
+				dumpSeries(rows)
+			}
+		})
+	}
+	if run("figure2") {
+		stage(func() {
+			rows := s.Figure2()
+			fmt.Print(experiments.RenderFigure2(rows))
+			if *series {
+				for _, r := range rows {
+					fmt.Printf("# %s series (domain, %% of poisoned resolvers)\n", r.ISP)
+					printSeries(r.Scan.Series)
+				}
+			}
+		})
+	}
+	if run("table3") {
+		stage(func() { fmt.Print(experiments.RenderTable3(s.Table3())) })
+	}
+	if run("figure1") {
+		stage(func() { fmt.Print(experiments.RenderFigure1(s.Figure1())) })
+	}
+	if run("figure3") {
+		stage(func() { fmt.Print(experiments.RenderFigureTrace("Figure 3: interceptive middlebox", s.Figure3())) })
+	}
+	if run("figure4") {
+		stage(func() { fmt.Print(experiments.RenderFigureTrace("Figure 4: wiretap middlebox", s.Figure4())) })
+	}
+	if run("section31") {
+		stage(func() {
+			fmt.Print(experiments.RenderSection31(s.Section31(experiments.OONITargets)))
+		})
+	}
+	if run("section5") {
+		stage(func() { fmt.Print(experiments.RenderSection5(s.Section5())) })
+	}
+}
+
+func stage(fn func()) {
+	t := time.Now()
+	fn()
+	fmt.Fprintf(os.Stderr, "[%v]\n", time.Since(t))
+	fmt.Println()
+}
+
+func dumpSeries(rows []experiments.Figure5Row) {
+	for _, r := range rows {
+		fmt.Printf("# %s series (domain, %% of poisoned paths)\n", r.ISP)
+		printSeries(r.Series)
+	}
+}
+
+func printSeries(series map[string]float64) {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s\t%.1f\n", k, series[k])
+	}
+}

@@ -1,0 +1,85 @@
+// Command evade demonstrates the §5 anti-censorship techniques against
+// every censoring ISP in the simulated world, printing which technique
+// defeated which middlebox type.
+//
+// Usage:
+//
+//	evade [-quick] [-n 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/anticensor"
+	"repro/internal/ispnet"
+	"repro/internal/probe"
+	"repro/internal/websim"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "use the reduced world")
+	n := flag.Int("n", 3, "blocked domains per ISP to attack")
+	flag.Parse()
+
+	cfg := ispnet.DefaultConfig()
+	if *quick {
+		cfg = ispnet.SmallConfig()
+	}
+	w := ispnet.NewWorld(cfg)
+
+	for _, name := range []string{"Airtel", "Idea", "Vodafone", "Jio"} {
+		isp := w.ISP(name)
+		p := probe.New(w, isp)
+		var blocked []string
+		for _, d := range isp.HTTPList {
+			site, ok := w.Catalog.Site(d)
+			if !ok || site.Kind != websim.KindNormal {
+				continue
+			}
+			if tr := w.TruthFor(isp, d); tr.HTTPFiltered {
+				blocked = append(blocked, d)
+			}
+			if len(blocked) >= *n {
+				break
+			}
+		}
+		fmt.Printf("== %s (%s) — %d blocked domains ==\n", name, isp.Censor, len(blocked))
+		for _, d := range blocked {
+			fmt.Printf("  %s\n", d)
+			for _, tech := range anticensor.AllTechniques {
+				ok := false
+				for r := 0; r < 3 && !ok; r++ {
+					ok = anticensor.Evade(p, tech, d).Success
+				}
+				status := "evaded"
+				if !ok {
+					status = "still blocked"
+				}
+				fmt.Printf("    %-24s %s\n", tech, status)
+			}
+		}
+		fmt.Println()
+	}
+
+	for _, name := range []string{"MTNL", "BSNL"} {
+		isp := w.ISP(name)
+		p := probe.New(w, isp)
+		var victim string
+		for _, d := range isp.DNSList {
+			site, ok := w.Catalog.Site(d)
+			if ok && site.Kind == websim.KindNormal && isp.Resolvers[0].PoisonsDomain(d) {
+				if tr := w.TruthFor(isp, d); !tr.HTTPFiltered {
+					victim = d
+					break
+				}
+			}
+		}
+		if victim == "" {
+			continue
+		}
+		at := anticensor.Evade(p, anticensor.TechAltResolver, victim)
+		fmt.Printf("== %s (dns-poisoning) — %s via %s: success=%v ==\n",
+			name, victim, anticensor.TechAltResolver, at.Success)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Where The Light Gets In: Analyzing Web
+// Censorship Mechanisms in India" (Yadav et al., IMC 2018) as a Go
+// library: a deterministic packet-level simulation of the nine studied
+// ISPs and their censorship infrastructure, the paper's measurement
+// toolkit, an OONI web_connectivity replica, and the anti-censorship
+// techniques of §5.
+//
+// The root package holds only the benchmark harness (bench_test.go), one
+// benchmark per table and figure in the paper's evaluation. The library
+// lives under internal/ with internal/core as the public façade; see
+// README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

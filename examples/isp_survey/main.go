@@ -1,0 +1,29 @@
+// ISP survey: the condensed nine-ISP study — OONI accuracy (Table 1), HTTP
+// filtering coverage and middlebox types (Table 2), DNS censorship
+// (Figure 2), collateral damage (Table 3), and the evasion matrix (§5) —
+// on the reduced world so it completes in seconds. Run cmd/censorscan
+// without -quick for the paper-scale numbers.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	s := core.NewSuite(core.QuickSuiteOptions())
+
+	fmt.Print(experiments.RenderTable1(s.Table1(experiments.OONITargets)))
+	fmt.Println()
+	fmt.Print(experiments.RenderTable2(s.Table2()))
+	fmt.Println()
+	fmt.Print(experiments.RenderFigure5(s.Figure5()))
+	fmt.Println()
+	fmt.Print(experiments.RenderFigure2(s.Figure2()))
+	fmt.Println()
+	fmt.Print(experiments.RenderTable3(s.Table3()))
+	fmt.Println()
+	fmt.Print(experiments.RenderSection5(s.Section5()))
+}

@@ -1,0 +1,227 @@
+package anticensor
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"repro/internal/httpwire"
+	"repro/internal/ispnet"
+	"repro/internal/middlebox"
+	"repro/internal/netpkt"
+	"repro/internal/probe"
+	"repro/internal/websim"
+)
+
+var sharedWorld *ispnet.World
+
+func world(t testing.TB) *ispnet.World {
+	t.Helper()
+	if sharedWorld == nil {
+		sharedWorld = ispnet.NewWorld(ispnet.SmallConfig())
+	}
+	return sharedWorld
+}
+
+func blockedDomain(t testing.TB, w *ispnet.World, isp *ispnet.ISP) string {
+	t.Helper()
+	for _, d := range isp.HTTPList {
+		s, _ := w.Catalog.Site(d)
+		if s == nil || s.Kind != websim.KindNormal {
+			continue
+		}
+		if tr := w.TruthFor(isp, d); tr.HTTPFiltered {
+			return d
+		}
+	}
+	t.Skipf("%s: no blocked normal domain on client paths", isp.Name)
+	return ""
+}
+
+// CraftRequest outputs must never match the middlebox matcher but must
+// parse at an RFC 2616 server.
+func TestCraftedRequestsEvadeMatcherButParse(t *testing.T) {
+	for _, tech := range []Technique{TechHostCase, TechExtraSpace, TechTrailingSpace} {
+		req, ok := CraftRequest(tech, "blocked.example.com")
+		if !ok {
+			t.Fatalf("%s: no request", tech)
+		}
+		if _, matched := middlebox.ExtractHost(req, false); matched {
+			t.Errorf("%s: matcher still extracts a host", tech)
+		}
+		if _, matched := middlebox.ExtractHost(req, true); matched && tech != TechHostCase {
+			// last-Host matching scans the whole payload; the case
+			// mutation hides the keyword entirely, padding hides the value.
+			t.Errorf("%s: covert matcher still matches", tech)
+		}
+		parsed, _, err := httpwire.ParseRequest(req)
+		if err != nil {
+			t.Fatalf("%s: server rejects: %v", tech, err)
+		}
+		if h, _ := parsed.Host(); h != "blocked.example.com" {
+			t.Errorf("%s: server sees host %q", tech, h)
+		}
+	}
+	// Multi-host: covert matcher must see the decoy.
+	req, _ := CraftRequest(TechMultiHost, "blocked.example.com")
+	if got, ok := middlebox.ExtractHost(req, true); !ok || got != "popular-0000.com" {
+		t.Errorf("multi-host: covert matcher sees %q", got)
+	}
+	parsed, _, err := httpwire.ParseRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := parsed.Host(); h != "blocked.example.com" {
+		t.Errorf("multi-host: server sees %q", h)
+	}
+}
+
+func TestFINRSTDropperFilter(t *testing.T) {
+	site := mustAddr("151.10.0.9")
+	other := mustAddr("151.10.0.10")
+	f := FINRSTDropper(site, 242)
+	mk := func(src string, flags netpkt.TCPFlags, ipid uint16) *netpkt.Packet {
+		p := netpkt.NewTCP(mustAddr(src), mustAddr("10.0.0.1"), &netpkt.TCPSegment{
+			SrcPort: 80, DstPort: 1234, Flags: flags,
+		})
+		p.IP.ID = ipid
+		return p
+	}
+	cases := []struct {
+		pkt  *netpkt.Packet
+		pass bool
+	}{
+		{mk("151.10.0.9", netpkt.FIN|netpkt.ACK, 0), false},
+		{mk("151.10.0.9", netpkt.RST, 0), false},
+		{mk("151.10.0.9", netpkt.PSH|netpkt.ACK, 0), true}, // data passes
+		{mk("151.10.0.10", netpkt.RST, 242), false},        // IP-ID rule
+		{mk("151.10.0.10", netpkt.RST, 7), true},           // other source, normal ipid
+		{mk("151.10.0.10", netpkt.PSH|netpkt.ACK, 242), true},
+	}
+	_ = other
+	for i, c := range cases {
+		raw, _ := c.pkt.Marshal()
+		if got := f(raw, c.pkt); got != c.pass {
+			t.Errorf("case %d: pass = %v, want %v", i, got, c.pass)
+		}
+	}
+}
+
+func TestEvadeWiretapAirtel(t *testing.T) {
+	w := world(t)
+	airtel := w.ISP("Airtel")
+	p := probe.New(w, airtel)
+	d := blockedDomain(t, w, airtel)
+	for _, tech := range []Technique{TechHostCase, TechDropFINRST, TechSegmented, TechExtraSpace} {
+		ok := false
+		for r := 0; r < 3 && !ok; r++ { // wiretap race noise
+			ok = Evade(p, tech, d).Success
+		}
+		if !ok {
+			t.Errorf("Airtel: %s failed", tech)
+		}
+	}
+}
+
+func TestEvadeInterceptiveIdea(t *testing.T) {
+	w := world(t)
+	idea := w.ISP("Idea")
+	p := probe.New(w, idea)
+	d := blockedDomain(t, w, idea)
+	for _, tech := range []Technique{TechExtraSpace, TechTrailingSpace, TechHostCase, TechSegmented} {
+		if at := Evade(p, tech, d); !at.Success {
+			t.Errorf("Idea: %s failed: %+v", tech, at)
+		}
+	}
+	// The FIN/RST dropper cannot beat an interceptive box: the request
+	// itself is consumed.
+	if at := Evade(p, TechDropFINRST, d); at.Success {
+		t.Error("Idea: dropper should NOT succeed against an interceptive box")
+	}
+}
+
+func TestEvadeCovertVodafone(t *testing.T) {
+	w := world(t)
+	vod := w.ISP("Vodafone")
+	p := probe.New(w, vod)
+	d := blockedDomain(t, w, vod)
+	for _, tech := range []Technique{TechMultiHost, TechHostCase, TechSegmented} {
+		at := Evade(p, tech, d)
+		if !at.Success {
+			t.Errorf("Vodafone: %s failed: %+v", tech, at)
+		}
+	}
+	// Multi-host specifically: the stream must carry real content AND the
+	// server's 400 for the trailing junk.
+	addrs, err := p.ResolveViaTor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := CraftRequest(TechMultiHost, d)
+	fr := probe.GetFrom(vod.Client, addrs[0], d, req, p.Timeout)
+	if len(fr.Responses) < 2 || fr.Responses[0].StatusCode != 200 || fr.Responses[1].StatusCode != 400 {
+		t.Errorf("multi-host responses: %d", len(fr.Responses))
+	}
+	if !bytes.Contains(fr.Responses[0].Body, []byte("portal")) {
+		t.Error("first response is not the real content")
+	}
+}
+
+func TestEvadeDNSPoisoningMTNL(t *testing.T) {
+	w := world(t)
+	mtnl := w.ISP("MTNL")
+	p := probe.New(w, mtnl)
+	var victim string
+	for _, d := range mtnl.DNSList {
+		s, _ := w.Catalog.Site(d)
+		if s != nil && s.Kind == websim.KindNormal && mtnl.Resolvers[0].PoisonsDomain(d) {
+			if tr := w.TruthFor(mtnl, d); !tr.HTTPFiltered { // DNS-only victim
+				victim = d
+				break
+			}
+		}
+	}
+	if victim == "" {
+		t.Skip("no DNS-only victim")
+	}
+	at := Evade(p, TechAltResolver, victim)
+	if !at.Success {
+		t.Errorf("alternate resolver failed: %+v", at)
+	}
+}
+
+func TestRunMatrixAllISPsEvadable(t *testing.T) {
+	w := world(t)
+	for _, name := range []string{"Airtel", "Idea", "Vodafone", "Jio"} {
+		isp := w.ISP(name)
+		p := probe.New(w, isp)
+		var blocked []string
+		for _, d := range isp.HTTPList {
+			s, _ := w.Catalog.Site(d)
+			if s == nil || s.Kind != websim.KindNormal {
+				continue
+			}
+			if tr := w.TruthFor(isp, d); tr.HTTPFiltered {
+				blocked = append(blocked, d)
+			}
+			if len(blocked) == 3 {
+				break
+			}
+		}
+		if len(blocked) == 0 {
+			continue
+		}
+		m := RunMatrix(p, blocked, AllTechniques, 2)
+		if m.AnyPerDomain != m.Tried {
+			t.Errorf("%s: evaded %d/%d blocked domains", name, m.AnyPerDomain, m.Tried)
+		}
+	}
+}
+
+func mustAddr(s string) netip.Addr {
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

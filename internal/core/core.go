@@ -1,0 +1,71 @@
+// Package core is the public façade of the reproduction: it re-exports the
+// world builder, the probe toolkit, and the experiment suite behind a
+// small, stable API, so downstream users (the cmd tools and examples) do
+// not need to know the internal package layout.
+//
+// A typical session:
+//
+//	w := core.NewWorld(core.DefaultWorldConfig())
+//	p := core.NewProbe(w, "Airtel")
+//	det := p.DetectHTTP("porn-site-001.com")
+//	fmt.Println(det.Blocked)
+package core
+
+import (
+	"repro/internal/anticensor"
+	"repro/internal/experiments"
+	"repro/internal/ispnet"
+	"repro/internal/ooni"
+	"repro/internal/probe"
+)
+
+// Re-exported types.
+type (
+	// World is the assembled simulated Internet.
+	World = ispnet.World
+	// WorldConfig sizes the world.
+	WorldConfig = ispnet.Config
+	// ISP is one built network operator.
+	ISP = ispnet.ISP
+	// Probe is the measurement client toolkit.
+	Probe = probe.Probe
+	// ScanConfig sizes coverage scans.
+	ScanConfig = probe.ScanConfig
+	// Suite runs the paper's evaluation.
+	Suite = experiments.Suite
+	// SuiteOptions sizes a suite run.
+	SuiteOptions = experiments.Options
+	// OONIRunner replicates OONI web_connectivity.
+	OONIRunner = ooni.Runner
+	// EvasionTechnique is one §5 anti-censorship technique.
+	EvasionTechnique = anticensor.Technique
+)
+
+// DefaultWorldConfig is the paper-scale world (1200 PBWs, Alexa 1000, 40
+// vantage points, the nine ISPs plus TATA).
+func DefaultWorldConfig() WorldConfig { return ispnet.DefaultConfig() }
+
+// SmallWorldConfig is a reduced world for experimentation.
+func SmallWorldConfig() WorldConfig { return ispnet.SmallConfig() }
+
+// NewWorld builds a simulated Internet.
+func NewWorld(cfg WorldConfig) *World { return ispnet.NewWorld(cfg) }
+
+// NewProbe attaches a measurement probe to an ISP's client.
+func NewProbe(w *World, ispName string) *Probe {
+	return probe.New(w, w.ISP(ispName))
+}
+
+// NewSuite builds an experiment suite (its own world included).
+func NewSuite(opt SuiteOptions) *Suite { return experiments.NewSuite(opt) }
+
+// DefaultSuiteOptions is the paper-scale evaluation configuration.
+func DefaultSuiteOptions() SuiteOptions { return experiments.DefaultOptions() }
+
+// QuickSuiteOptions is the fast smoke configuration.
+func QuickSuiteOptions() SuiteOptions { return experiments.QuickOptions() }
+
+// Evade runs one anti-censorship technique for a domain.
+func Evade(p *Probe, t EvasionTechnique, domain string) bool {
+	return anticensor.Evade(p, t, domain).Success
+}

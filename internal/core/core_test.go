@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/anticensor"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	w := NewWorld(SmallWorldConfig())
+	p := NewProbe(w, "Idea")
+
+	// Find a blocked domain via the oracle and confirm the probe detects
+	// it through the façade.
+	var blocked string
+	for _, d := range w.ISP("Idea").HTTPList {
+		if tr := w.TruthFor(w.ISP("Idea"), d); tr.HTTPFiltered {
+			if s, ok := w.Catalog.Site(d); ok && s.Kind == 0 /* KindNormal */ {
+				blocked = d
+				break
+			}
+		}
+	}
+	if blocked == "" {
+		t.Skip("no blocked normal domain")
+	}
+	det := p.DetectHTTP(blocked)
+	if !det.Blocked {
+		t.Errorf("façade probe missed blocked domain: %+v", det)
+	}
+	if !Evade(p, anticensor.TechExtraSpace, blocked) {
+		t.Error("façade evasion failed")
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	if DefaultWorldConfig().PBWCount != 1200 {
+		t.Error("default world must carry 1200 PBWs")
+	}
+	if QuickSuiteOptions().World.PBWCount >= DefaultSuiteOptions().World.PBWCount {
+		t.Error("quick options should be smaller than default")
+	}
+}

@@ -1,0 +1,119 @@
+// Package difflib ports the similarity-ratio core of Python's difflib
+// (SequenceMatcher). The paper's detection scripts "used python difflib"
+// to compare the HTTP body fetched directly against the body fetched over
+// Tor, flagging a site for manual review when the similarity falls below a
+// 0.3-equivalent threshold; this package supplies the identical metric so
+// the probe code matches the paper's pipeline.
+package difflib
+
+import "strings"
+
+// match is one maximal matching block between sequences a and b.
+type match struct{ a, b, size int }
+
+// matcher computes matching blocks between two sequences, following
+// Python's SequenceMatcher (without junk heuristics — measurement code
+// wants the deterministic exact algorithm).
+type matcher[E comparable] struct {
+	a, b []E
+	b2j  map[E][]int
+}
+
+func newMatcher[E comparable](a, b []E) *matcher[E] {
+	m := &matcher[E]{a: a, b: b, b2j: make(map[E][]int, len(b))}
+	for j, e := range b {
+		m.b2j[e] = append(m.b2j[e], j)
+	}
+	return m
+}
+
+// findLongestMatch finds the longest matching block in a[alo:ahi] and
+// b[blo:bhi], preferring the earliest in a then earliest in b, exactly as
+// CPython's implementation does.
+func (m *matcher[E]) findLongestMatch(alo, ahi, blo, bhi int) match {
+	besti, bestj, bestsize := alo, blo, 0
+	j2len := map[int]int{}
+	for i := alo; i < ahi; i++ {
+		newj2len := map[int]int{}
+		for _, j := range m.b2j[m.a[i]] {
+			if j < blo {
+				continue
+			}
+			if j >= bhi {
+				break
+			}
+			k := j2len[j-1] + 1
+			newj2len[j] = k
+			if k > bestsize {
+				besti, bestj, bestsize = i-k+1, j-k+1, k
+			}
+		}
+		j2len = newj2len
+	}
+	return match{besti, bestj, bestsize}
+}
+
+// matchingBlocks returns all maximal matching blocks, iteratively (CPython
+// uses an explicit queue to avoid recursion depth issues; so do we).
+func (m *matcher[E]) matchingBlocks() []match {
+	type span struct{ alo, ahi, blo, bhi int }
+	queue := []span{{0, len(m.a), 0, len(m.b)}}
+	var matched []match
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		mt := m.findLongestMatch(s.alo, s.ahi, s.blo, s.bhi)
+		if mt.size > 0 {
+			matched = append(matched, mt)
+			if s.alo < mt.a && s.blo < mt.b {
+				queue = append(queue, span{s.alo, mt.a, s.blo, mt.b})
+			}
+			if mt.a+mt.size < s.ahi && mt.b+mt.size < s.bhi {
+				queue = append(queue, span{mt.a + mt.size, s.ahi, mt.b + mt.size, s.bhi})
+			}
+		}
+	}
+	return matched
+}
+
+// ratio computes 2*M/T where M is the number of matched elements and T the
+// total length of both sequences. Two empty sequences are identical (1.0).
+func ratio[E comparable](a, b []E) float64 {
+	total := len(a) + len(b)
+	if total == 0 {
+		return 1.0
+	}
+	m := newMatcher(a, b)
+	matched := 0
+	for _, blk := range m.matchingBlocks() {
+		matched += blk.size
+	}
+	return 2.0 * float64(matched) / float64(total)
+}
+
+// RatioLines compares two texts line-by-line, the granularity the paper's
+// scripts used for HTTP bodies.
+func RatioLines(a, b string) float64 {
+	return ratio(splitLines(a), splitLines(b))
+}
+
+// RatioStrings compares two pre-tokenized sequences.
+func RatioStrings(a, b []string) float64 { return ratio(a, b) }
+
+// RatioBytes compares two byte slices element-wise (Python's behaviour on
+// bytes objects). Quadratic in the worst case; intended for short inputs.
+func RatioBytes(a, b []byte) float64 { return ratio(a, b) }
+
+// Similar reports whether the two texts differ by no more than the
+// threshold used throughout the paper: difference < threshold, i.e.
+// ratio > 1-threshold.
+func Similar(a, b string, threshold float64) bool {
+	return 1.0-RatioLines(a, b) < threshold
+}
+
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

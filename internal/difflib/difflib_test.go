@@ -1,0 +1,174 @@
+package difflib
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestIdenticalTexts(t *testing.T) {
+	s := "line one\nline two\nline three"
+	if r := RatioLines(s, s); !almost(r, 1.0) {
+		t.Errorf("identical ratio = %v", r)
+	}
+}
+
+func TestEmptyTexts(t *testing.T) {
+	if r := RatioLines("", ""); !almost(r, 1.0) {
+		t.Errorf("empty/empty = %v, want 1.0", r)
+	}
+	if r := RatioLines("abc", ""); !almost(r, 0.0) {
+		t.Errorf("abc/empty = %v, want 0.0", r)
+	}
+}
+
+func TestDisjointTexts(t *testing.T) {
+	if r := RatioLines("a\nb\nc", "x\ny\nz"); !almost(r, 0.0) {
+		t.Errorf("disjoint = %v, want 0.0", r)
+	}
+}
+
+// Known vector from the CPython docs: SequenceMatcher(None, "abcd", "bcde")
+// has ratio 0.75.
+func TestPythonKnownVector(t *testing.T) {
+	if r := RatioBytes([]byte("abcd"), []byte("bcde")); !almost(r, 0.75) {
+		t.Errorf("abcd/bcde = %v, want 0.75", r)
+	}
+}
+
+// CPython doc example: " abcd" vs "abcd abcd" -> 2*4/14 with autojunk off
+// would find "abcd " too; verify against the exact matching-block
+// semantics: longest match is " abcd" (size 5)? The documented ratio for
+// SequenceMatcher(None, " abcd", "abcd abcd") is 0.714285...
+func TestPythonDocExample(t *testing.T) {
+	r := RatioBytes([]byte(" abcd"), []byte("abcd abcd"))
+	if !almost(r, 10.0/14.0) {
+		t.Errorf("ratio = %v, want %v", r, 10.0/14.0)
+	}
+}
+
+func TestHalfOverlap(t *testing.T) {
+	a := "one\ntwo\nthree\nfour"
+	b := "one\ntwo\nfive\nsix"
+	// matches: "one","two" => M=2, T=8, ratio=0.5
+	if r := RatioLines(a, b); !almost(r, 0.5) {
+		t.Errorf("half overlap = %v, want 0.5", r)
+	}
+}
+
+func TestSimilarThreshold(t *testing.T) {
+	base := strings.Repeat("content line\n", 10)
+	tweaked := base + "extra ad line"
+	if !Similar(base, tweaked, 0.3) {
+		t.Error("small addition should be under 0.3 difference")
+	}
+	if Similar("completely different", base, 0.3) {
+		t.Error("unrelated texts should exceed 0.3 difference")
+	}
+}
+
+func TestOrderMatters(t *testing.T) {
+	// Reversed sequences still share subsequences; matching blocks are
+	// non-crossing, so ratio must be below 1 but above 0.
+	a := "a\nb\nc\nd"
+	b := "d\nc\nb\na"
+	r := RatioLines(a, b)
+	if r <= 0 || r >= 1 {
+		t.Errorf("reversed ratio = %v, want in (0,1)", r)
+	}
+	// Exactly one block of size 1 can match in a non-crossing way.
+	if !almost(r, 2.0/8.0) {
+		t.Errorf("reversed ratio = %v, want 0.25", r)
+	}
+}
+
+func TestRatioStrings(t *testing.T) {
+	if r := RatioStrings([]string{"x", "y"}, []string{"x", "y"}); !almost(r, 1.0) {
+		t.Errorf("RatioStrings identical = %v", r)
+	}
+}
+
+// Property: matched elements cannot exceed the shorter sequence, so
+// ratio <= 2*min(|a|,|b|)/(|a|+|b|). (Note ratio is not exactly symmetric —
+// CPython's tie-breaking has the same behaviour — so we don't test that.)
+func TestPropertyUpperBound(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) > 200 {
+			a = a[:200]
+		}
+		if len(b) > 200 {
+			b = b[:200]
+		}
+		if len(a)+len(b) == 0 {
+			return true
+		}
+		minLen := len(a)
+		if len(b) < minLen {
+			minLen = len(b)
+		}
+		bound := 2 * float64(minLen) / float64(len(a)+len(b))
+		return RatioBytes(a, b) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ratio is always in [0,1], and 1 for identical inputs.
+func TestPropertyBounds(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) > 200 {
+			a = a[:200]
+		}
+		if len(b) > 200 {
+			b = b[:200]
+		}
+		r := RatioBytes(a, b)
+		if r < 0 || r > 1 {
+			return false
+		}
+		return almost(RatioBytes(a, a), 1.0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: appending shared suffixes never decreases the match count.
+func TestPropertySharedSuffix(t *testing.T) {
+	f := func(a, b, suffix []byte) bool {
+		if len(a) > 100 {
+			a = a[:100]
+		}
+		if len(b) > 100 {
+			b = b[:100]
+		}
+		if len(suffix) > 100 {
+			suffix = suffix[:100]
+		}
+		if len(suffix) == 0 {
+			return true
+		}
+		ra := RatioBytes(append(append([]byte{}, a...), suffix...), append(append([]byte{}, b...), suffix...))
+		// With a shared suffix of length s, matched >= s, so
+		// ratio >= 2s/(len(a)+len(b)+2s).
+		s := float64(len(suffix))
+		lower := 2 * s / (float64(len(a)+len(b)) + 2*s)
+		return ra >= lower-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRatioLines(b *testing.B) {
+	a := strings.Repeat("the quick brown fox\n", 200)
+	c := strings.Repeat("the quick brown fox\n", 150) + strings.Repeat("jumps over\n", 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RatioLines(a, c)
+	}
+}

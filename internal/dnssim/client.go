@@ -1,0 +1,120 @@
+package dnssim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/netpkt"
+	"repro/internal/netsim"
+)
+
+// Client is a stub resolver for one host. It supports synchronous lookups
+// (driving the engine), fire-and-forget async queries for mass scans, and
+// TTL-limited raw queries for the DNS variant of the Iterative Network
+// Tracer.
+type Client struct {
+	host     *netsim.Host
+	nextPort uint16
+	nextID   uint16
+}
+
+// NewClient creates a stub resolver on the host.
+func NewClient(h *netsim.Host) *Client {
+	return &Client{host: h, nextPort: 20000, nextID: 1}
+}
+
+// alloc reserves a fresh ephemeral port and transaction ID.
+func (c *Client) alloc() (uint16, uint16) {
+	p, id := c.nextPort, c.nextID
+	c.nextPort++
+	if c.nextPort < 20000 {
+		c.nextPort = 20000
+	}
+	c.nextID++
+	return p, id
+}
+
+// send fires one query datagram and registers cb for the first response
+// arriving on the query's port. ttl of 0 means the default 64.
+func (c *Client) send(resolver netip.Addr, domain string, ttl uint8, cb func(*dnswire.Message, netip.Addr)) error {
+	port, id := c.alloc()
+	q := dnswire.NewQuery(id, domain)
+	payload, err := q.Marshal()
+	if err != nil {
+		return err
+	}
+	c.host.SetUDPHandler(port, func(pkt *netpkt.Packet) {
+		m, err := dnswire.Parse(pkt.UDP.Payload)
+		if err != nil || m.ID != id || !m.Response {
+			return
+		}
+		c.host.SetUDPHandler(port, nil)
+		cb(m, pkt.IP.Src)
+	})
+	// Expire the handler so mass scans with mostly-dead targets do not
+	// accumulate registrations.
+	c.host.Engine().Schedule(30*time.Second, func() { c.host.SetUDPHandler(port, nil) })
+	out := netpkt.NewUDP(c.host.Addr(), resolver, &netpkt.UDPDatagram{
+		SrcPort: port, DstPort: 53, Payload: payload,
+	})
+	if ttl != 0 {
+		out.IP.TTL = ttl
+	}
+	c.host.Send(out)
+	return nil
+}
+
+// QueryAsync sends a query and invokes cb on the first matching response.
+// Nothing is invoked on timeout; callers run the engine and harvest.
+func (c *Client) QueryAsync(resolver netip.Addr, domain string, cb func(*dnswire.Message, netip.Addr)) {
+	_ = c.send(resolver, domain, 0, cb)
+}
+
+// Query performs a blocking lookup, driving the engine until a response
+// arrives or the timeout elapses.
+func (c *Client) Query(resolver netip.Addr, domain string, timeout time.Duration) (*dnswire.Message, error) {
+	var got *dnswire.Message
+	if err := c.send(resolver, domain, 0, func(m *dnswire.Message, _ netip.Addr) { got = m }); err != nil {
+		return nil, err
+	}
+	err := c.host.Engine().RunUntil(timeout, func() bool { return got != nil })
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: query %s @%v: timeout", domain, resolver)
+	}
+	return got, nil
+}
+
+// ResolveA performs Query and extracts the A-record addresses.
+func (c *Client) ResolveA(resolver netip.Addr, domain string, timeout time.Duration) ([]netip.Addr, dnswire.RCode, error) {
+	m, err := c.Query(resolver, domain, timeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	var addrs []netip.Addr
+	for _, a := range m.Answers {
+		addrs = append(addrs, a.Addr)
+	}
+	return addrs, m.RCode, nil
+}
+
+// TTLProbe sends a query with a limited IP TTL and reports what came back
+// first: a DNS response (Answer non-nil, From set) or nothing before the
+// timeout. The caller watches ICMP separately via the host's ICMP handler.
+// This is the building block of the DNS tracer that distinguishes resolver
+// poisoning (answers only from the final hop) from on-path injection
+// (answers from intermediate hops).
+func (c *Client) TTLProbe(resolver netip.Addr, domain string, ttl uint8, timeout time.Duration) (answer *dnswire.Message, from netip.Addr, ok bool) {
+	var m *dnswire.Message
+	var src netip.Addr
+	_ = c.send(resolver, domain, ttl, func(resp *dnswire.Message, s netip.Addr) {
+		m = resp
+		src = s
+	})
+	_ = c.host.Engine().RunUntil(timeout, func() bool { return m != nil })
+	if m == nil {
+		return nil, netip.Addr{}, false
+	}
+	return m, src, true
+}

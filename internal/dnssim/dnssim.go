@@ -1,0 +1,128 @@
+// Package dnssim provides the DNS side of the simulation: an authoritative
+// view of the simulated web (which address a domain has, per region), open
+// recursive resolvers that ISPs run — some of them poisoned, answering
+// censored domains with an ISP block-page address or a bogon — and a stub
+// client for hosts that need lookups.
+//
+// The paper found DNS censorship in exactly two of the nine ISPs (MTNL and
+// BSNL), implemented by poisoning the ISPs' own resolvers rather than by
+// on-path injection; the Iterative Network Tracer variant that proves this
+// (responses always come from the last hop) runs against these resolvers.
+package dnssim
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/netpkt"
+	"repro/internal/netsim"
+	"repro/internal/websim"
+)
+
+// Authority answers what a domain truly resolves to from a given region.
+type Authority interface {
+	Lookup(domain string, region websim.Region) ([]netip.Addr, dnswire.RCode)
+}
+
+// CatalogAuthority implements Authority from a websim catalog with filled
+// per-region addresses.
+type CatalogAuthority struct {
+	Catalog *websim.Catalog
+}
+
+// Lookup resolves a domain the way the real DNS would: per-region CDN
+// steering included.
+func (a *CatalogAuthority) Lookup(domain string, region websim.Region) ([]netip.Addr, dnswire.RCode) {
+	site, ok := a.Catalog.Site(domain)
+	if !ok {
+		return nil, dnswire.RCodeNXDomain
+	}
+	addr, ok := site.Addrs[region]
+	if !ok {
+		return nil, dnswire.RCodeServFail
+	}
+	return []netip.Addr{addr}, dnswire.RCodeNoError
+}
+
+// Poison describes how a poisoned resolver answers one censored domain.
+type Poison struct {
+	Addr netip.Addr // the manipulated answer (ISP block host or bogon)
+}
+
+// Resolver is one recursive resolver host.
+type Resolver struct {
+	host      *netsim.Host
+	region    websim.Region
+	authority Authority
+	latency   time.Duration
+
+	poison map[string]Poison
+
+	// Queries and PoisonedAnswers count traffic for metrics.
+	Queries         int
+	PoisonedAnswers int
+}
+
+// NewResolver binds resolver logic to a host's UDP port 53.
+func NewResolver(h *netsim.Host, region websim.Region, authority Authority, latency time.Duration) *Resolver {
+	r := &Resolver{
+		host: h, region: region, authority: authority, latency: latency,
+		poison: make(map[string]Poison),
+	}
+	h.SetUDPHandler(53, r.handle)
+	return r
+}
+
+// Host returns the resolver's host.
+func (r *Resolver) Host() *netsim.Host { return r.host }
+
+// Addr returns the resolver's address.
+func (r *Resolver) Addr() netip.Addr { return r.host.Addr() }
+
+// PoisonDomain makes the resolver answer domain with the given address.
+func (r *Resolver) PoisonDomain(domain string, p Poison) { r.poison[domain] = p }
+
+// Poisoned reports whether the resolver manipulates any domain.
+func (r *Resolver) Poisoned() bool { return len(r.poison) > 0 }
+
+// PoisonsDomain reports whether the resolver manipulates one domain.
+func (r *Resolver) PoisonsDomain(domain string) bool {
+	_, ok := r.poison[domain]
+	return ok
+}
+
+// PoisonList returns the censored domains this resolver manipulates.
+func (r *Resolver) PoisonList() []string {
+	out := make([]string, 0, len(r.poison))
+	for d := range r.poison {
+		out = append(out, d)
+	}
+	return out
+}
+
+// handle answers one DNS query datagram.
+func (r *Resolver) handle(pkt *netpkt.Packet) {
+	q, err := dnswire.Parse(pkt.UDP.Payload)
+	if err != nil || q.Response || len(q.Questions) == 0 {
+		return
+	}
+	r.Queries++
+	domain := q.Questions[0].Name
+	var resp *dnswire.Message
+	if p, bad := r.poison[domain]; bad {
+		r.PoisonedAnswers++
+		resp = q.Answer(dnswire.RCodeNoError, 60, p.Addr)
+	} else {
+		addrs, rcode := r.authority.Lookup(domain, r.region)
+		resp = q.Answer(rcode, 300, addrs...)
+	}
+	payload, err := resp.Marshal()
+	if err != nil {
+		return
+	}
+	out := netpkt.NewUDP(r.host.Addr(), pkt.IP.Src, &netpkt.UDPDatagram{
+		SrcPort: 53, DstPort: pkt.UDP.SrcPort, Payload: payload,
+	})
+	r.host.Engine().Schedule(r.latency, func() { r.host.Send(out) })
+}

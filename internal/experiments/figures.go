@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/httpwire"
+	"repro/internal/ispnet"
+	"repro/internal/probe"
+	"repro/internal/websim"
+)
+
+// ---------------------------------------------------------------- Figure 1
+
+// Figure1Result is the Iterative Network Tracer demonstration: per-TTL
+// observations on the way to a censored site.
+type Figure1Result struct {
+	ISP    string
+	Domain string
+	Trace  *probe.IterTraceResult
+}
+
+// Figure1 runs the tracer in one wiretap ISP against an observed-censored
+// domain.
+func (s *Suite) Figure1() *Figure1Result {
+	name := "Airtel"
+	isp := s.World.ISP(name)
+	domain, dst := s.observedBlockedPair(name)
+	if domain == "" {
+		return &Figure1Result{ISP: name}
+	}
+	tr := probe.IterativeTraceHTTP(isp.Client, dst, domain, 3*time.Second)
+	return &Figure1Result{ISP: name, Domain: domain, Trace: tr}
+}
+
+// observedBlockedPair finds a blocked (domain, destination) without the
+// oracle: it scans list candidates against site addresses and then Alexa
+// destinations until censorship is observed.
+func (s *Suite) observedBlockedPair(name string) (string, netip.Addr) {
+	p := s.probeFor(name)
+	blocked := s.coverageFor(name).BlockedUnion
+	for _, d := range blocked {
+		site, ok := s.World.Catalog.Site(d)
+		if !ok || site.Kind != websim.KindNormal {
+			continue
+		}
+		addr := site.Addr(websim.RegionIN)
+		for attempt := 0; attempt < 3; attempt++ {
+			fr := probe.GetFrom(s.World.ISP(name).Client, addr, d, nil, p.Timeout)
+			if fr.Notification || (fr.Reset && len(fr.Responses) == 0) {
+				return d, addr
+			}
+		}
+	}
+	// Fall back to Alexa destinations (destination-agnostic boxes).
+	for _, a := range s.World.Catalog.Alexa[:min(40, len(s.World.Catalog.Alexa))] {
+		addr := a.Addr(websim.RegionUS)
+		for _, d := range blocked[:min(40, len(blocked))] {
+			for attempt := 0; attempt < 2; attempt++ {
+				fr := probe.GetFrom(s.World.ISP(name).Client, addr, d, nil, p.Timeout)
+				if fr.Notification || (fr.Reset && len(fr.Responses) == 0) {
+					return d, addr
+				}
+			}
+		}
+	}
+	return "", netip.Addr{}
+}
+
+// RenderFigure1 prints the per-TTL storyline of Figure 1.
+func RenderFigure1(r *Figure1Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: Iterative Network Tracer (%s, %s)\n", r.ISP, r.Domain)
+	if r.Trace == nil || r.Trace.CensorHop == 0 {
+		b.WriteString("  no censorship observed\n")
+		return b.String()
+	}
+	max := r.Trace.CensorHop
+	for ttl := 1; ttl <= max; ttl++ {
+		switch {
+		case ttl == r.Trace.CensorHop:
+			kind := "censorship notification-cum-disconnection"
+			if r.Trace.Covert {
+				kind = "forged RST (covert censorship)"
+			}
+			fmt.Fprintf(&b, "  TTL=%-2d -> %s", ttl, kind)
+			if r.Trace.SignatureISP != "" {
+				fmt.Fprintf(&b, " [signature: %s]", r.Trace.SignatureISP)
+			}
+			b.WriteString("\n")
+		default:
+			if addr, ok := r.Trace.ICMPAt[ttl]; ok {
+				fmt.Fprintf(&b, "  TTL=%-2d -> ICMP time-exceeded from %v\n", ttl, addr)
+			} else {
+				fmt.Fprintf(&b, "  TTL=%-2d -> * (anonymized router)\n", ttl)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  traceroute hop count to destination: %d\n", r.Trace.TotalHops)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+// Figure2Result is one DNS-censoring ISP's resolver scan.
+type Figure2Result struct {
+	ISP            string
+	TotalResolvers int
+	Scan           *probe.DNSScanResult
+}
+
+// Figure2 scans MTNL and BSNL resolver fleets.
+func (s *Suite) Figure2() []Figure2Result {
+	var out []Figure2Result
+	for _, name := range DNSCensors {
+		p := s.probeFor(name)
+		control := s.World.Catalog.AlexaDomains()[0]
+		resolvers := p.DiscoverResolvers(control)
+		scan := p.ScanResolvers(resolvers, s.World.Catalog.PBWDomains())
+		out = append(out, Figure2Result{ISP: name, TotalResolvers: len(resolvers), Scan: scan})
+	}
+	return out
+}
+
+// RenderFigure2 prints coverage/consistency and a compact series summary.
+func RenderFigure2(rows []Figure2Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 2 / §4.1: DNS resolver censorship\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s resolvers=%d poisoned=%d coverage=%.1f%% consistency=%.1f%% blocked-domains=%d\n",
+			r.ISP, r.TotalResolvers, len(r.Scan.BlockedBy),
+			100*r.Scan.Coverage, 100*r.Scan.Consistency, len(r.Scan.BlockedDomains))
+		b.WriteString(seriesSummary(r.Scan.Series))
+	}
+	return b.String()
+}
+
+// seriesSummary prints quartiles of a per-domain percentage series.
+func seriesSummary(series map[string]float64) string {
+	if len(series) == 0 {
+		return "       (empty series)\n"
+	}
+	vals := make([]float64, 0, len(series))
+	for _, v := range series {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	q := func(p float64) float64 { return vals[int(p*float64(len(vals)-1))] }
+	return fmt.Sprintf("       series: min=%.1f%% p25=%.1f%% median=%.1f%% p75=%.1f%% max=%.1f%% (n=%d)\n",
+		vals[0], q(0.25), q(0.5), q(0.75), vals[len(vals)-1], len(vals))
+}
+
+// ---------------------------------------------------------- Figures 3 & 4
+
+// FigureTrace is a packet-level trace of one censorship event, observed at
+// both the client and a remote controlled server (Figures 3 and 4).
+type FigureTrace struct {
+	ISP          string
+	Domain       string
+	BoxType      string
+	ClientTrace  []string
+	RemoteTrace  []string
+	Observations []string
+}
+
+// middleboxTrace runs the remote-controlled-host experiment with packet
+// capture at both ends.
+func (s *Suite) middleboxTrace(name string) *FigureTrace {
+	isp := s.World.ISP(name)
+	p := s.probeFor(name)
+	out := &FigureTrace{ISP: name}
+
+	// Find a (domain, VP) pair that triggers, trying a few times for
+	// wiretap races.
+	blocked := s.coverageFor(name).BlockedUnion
+	var domain string
+	var remote *ispnet.Endpoint
+	for _, vp := range s.World.VPs {
+		for _, d := range blocked[:min(20, len(blocked))] {
+			cls := p.ClassifyMiddlebox(d, vp, 4)
+			if cls.ClientSawCensorship {
+				domain, remote = d, vp
+				out.BoxType = cls.Type
+				break
+			}
+		}
+		if domain != "" {
+			break
+		}
+	}
+	if domain == "" {
+		return out
+	}
+	out.Domain = domain
+
+	// The instrumented run.
+	for attempt := 0; attempt < 6; attempt++ {
+		isp.Client.Host.StartCapture()
+		remote.Host.StartCapture()
+		before := remote.Server.Requests
+		c := isp.Client.TCP.Connect(remote.Addr(), 80)
+		if err := c.WaitEstablished(3 * time.Second); err != nil {
+			isp.Client.Host.StopCapture()
+			remote.Host.StopCapture()
+			continue
+		}
+		c.Send(httpwire.NewGET("/").Header("Host", domain).Bytes())
+		s.World.Eng.RunFor(2 * time.Second)
+		censored := false
+		if _, reset := c.WasReset(); (reset && len(c.Stream()) == 0) || (c.PeerClosed() && len(c.Stream()) > 0) {
+			censored = true
+		}
+		// Attempt an orderly close, as the paper's clients did; against an
+		// interceptive box this times out (blackholed) and ends in a RST.
+		c.Close()
+		s.World.Eng.RunFor(2 * time.Second)
+		if !c.Dead() {
+			c.Abort()
+			s.World.Eng.RunFor(500 * time.Millisecond)
+			out.Observations = append(out.Observations, "4-way teardown timed out; client aborted with RST")
+		}
+		clientCap := isp.Client.Host.StopCapture()
+		remoteCap := remote.Host.StopCapture()
+		if !censored {
+			continue
+		}
+		for _, rec := range clientCap {
+			out.ClientTrace = append(out.ClientTrace, rec.String())
+		}
+		for _, rec := range remoteCap {
+			out.RemoteTrace = append(out.RemoteTrace, rec.String())
+		}
+		if remote.Server.Requests > before {
+			out.Observations = append(out.Observations, "remote host received the GET (wiretap copy)")
+		} else {
+			out.Observations = append(out.Observations, "remote host never received the GET (interceptive consume)")
+		}
+		break
+	}
+	return out
+}
+
+// Figure3 traces an interceptive middlebox (Idea).
+func (s *Suite) Figure3() *FigureTrace { return s.middleboxTrace("Idea") }
+
+// Figure4 traces a wiretap middlebox (Airtel).
+func (s *Suite) Figure4() *FigureTrace { return s.middleboxTrace("Airtel") }
+
+// RenderFigureTrace prints both captures.
+func RenderFigureTrace(title string, tr *FigureTrace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s, box=%s, domain=%s)\n", title, tr.ISP, tr.BoxType, tr.Domain)
+	if tr.Domain == "" {
+		b.WriteString("  no censorship event captured\n")
+		return b.String()
+	}
+	b.WriteString("  client-side capture:\n")
+	for _, l := range tr.ClientTrace {
+		fmt.Fprintf(&b, "    %s\n", l)
+	}
+	b.WriteString("  remote-host capture:\n")
+	for _, l := range tr.RemoteTrace {
+		fmt.Fprintf(&b, "    %s\n", l)
+	}
+	for _, o := range tr.Observations {
+		fmt.Fprintf(&b, "  note: %s\n", o)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Figure5Row is one ISP's middlebox-consistency series.
+type Figure5Row struct {
+	ISP         string
+	Consistency float64 // %
+	Series      map[string]float64
+}
+
+// Figure5 reuses the Table 2 scans for the three ISPs in the figure.
+func (s *Suite) Figure5() []Figure5Row {
+	var rows []Figure5Row
+	for _, name := range []string{"Airtel", "Vodafone", "Idea"} {
+		cov := s.coverageFor(name)
+		rows = append(rows, Figure5Row{
+			ISP: name, Consistency: 100 * cov.Consistency, Series: cov.Series,
+		})
+	}
+	return rows
+}
+
+// RenderFigure5 prints the consistency summary per ISP.
+func RenderFigure5(rows []Figure5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Consistency of middleboxes (% of poisoned paths blocking each site)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s consistency=%.1f%% blocked-sites=%d\n", r.ISP, r.Consistency, len(r.Series))
+		b.WriteString(seriesSummary(r.Series))
+	}
+	return b.String()
+}
+
+// helpers
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestFullScaleDryRun(t *testing.T) {
+	if os.Getenv("FULLRUN") == "" {
+		t.Skip("set FULLRUN=1")
+	}
+	start := time.Now()
+	s := NewSuite(DefaultOptions())
+	fmt.Printf("world built in %v\n", time.Since(start))
+	stage := func(name string, fn func() string) {
+		t0 := time.Now()
+		out := fn()
+		fmt.Printf("%s[%s in %v]\n\n", out, name, time.Since(t0))
+	}
+	stage("table2", func() string { return RenderTable2(s.Table2()) })
+	stage("figure5", func() string { return RenderFigure5(s.Figure5()) })
+	stage("table1", func() string { return RenderTable1(s.Table1(OONITargets)) })
+	stage("figure2", func() string { return RenderFigure2(s.Figure2()) })
+	stage("table3", func() string { return RenderTable3(s.Table3()) })
+	stage("figure1", func() string { return RenderFigure1(s.Figure1()) })
+	stage("figure3", func() string { return RenderFigureTrace("Figure 3", s.Figure3()) })
+	stage("figure4", func() string { return RenderFigureTrace("Figure 4", s.Figure4()) })
+	stage("section5", func() string { return RenderSection5(s.Section5()) })
+}

@@ -1,0 +1,112 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation from the simulated world, using only the probe toolkit (plus
+// the oracle where the paper used manual verification). Each experiment
+// has a generator returning structured results and a renderer printing the
+// same rows/series the paper reports.
+//
+// Experiment index (see DESIGN.md §3):
+//
+//	Table 1   — OONI precision/recall per ISP        (Table1)
+//	Figure 1  — Iterative Network Tracer trace        (Figure1)
+//	Figure 2  — DNS resolver consistency, MTNL/BSNL   (Figure2)
+//	Table 2   — HTTP filtering coverage + box types   (Table2)
+//	Figure 3  — interceptive middlebox packet trace   (Figure3)
+//	Figure 4  — wiretap middlebox packet trace        (Figure4)
+//	Figure 5  — middlebox consistency per ISP         (Figure5, from Table2)
+//	Table 3   — collateral damage                     (Table3)
+//	Section 5 — anti-censorship matrix                (Section5)
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/ispnet"
+	"repro/internal/probe"
+)
+
+// Options sizes a suite run.
+type Options struct {
+	World ispnet.Config
+	Scan  probe.ScanConfig
+	// OONISample caps the domains measured for Table 1 (0 = all PBWs).
+	OONISample int
+	// EvasionSample is the number of blocked domains per ISP tried in the
+	// §5 matrix.
+	EvasionSample int
+	// ClassifyAttempts is the per-ISP repeat count for the middlebox-type
+	// experiment (needs >1 to observe wiretap races).
+	ClassifyAttempts int
+}
+
+// DefaultOptions is the paper-scale configuration.
+func DefaultOptions() Options {
+	scan := probe.DefaultScanConfig()
+	scan.Paths = 300 // destinations sampled from the Alexa list
+	return Options{
+		World:            ispnet.DefaultConfig(),
+		Scan:             scan,
+		EvasionSample:    5,
+		ClassifyAttempts: 10,
+	}
+}
+
+// QuickOptions is a reduced configuration for tests and smoke runs. The
+// small catalog forces full-list path sampling (SampleURLs 0) because the
+// per-box lists are tiny.
+func QuickOptions() Options {
+	return Options{
+		World: ispnet.SmallConfig(),
+		Scan: probe.ScanConfig{
+			Paths: 36, SampleURLs: 0, Attempts: 2, OutsideTargets: 1,
+			PerURLTimeout: 600 * time.Millisecond,
+		},
+		OONISample:       120,
+		EvasionSample:    2,
+		ClassifyAttempts: 8,
+	}
+}
+
+// Suite owns one world and caches expensive intermediate results so that
+// Table 2 and Figure 5 (same scan) are computed once.
+type Suite struct {
+	Opt   Options
+	World *ispnet.World
+
+	coverage map[string]*probe.CoverageResult
+}
+
+// NewSuite builds the world.
+func NewSuite(opt Options) *Suite {
+	return &Suite{
+		Opt:      opt,
+		World:    ispnet.NewWorld(opt.World),
+		coverage: make(map[string]*probe.CoverageResult),
+	}
+}
+
+// HTTPCensors are the four ISPs of Table 2.
+var HTTPCensors = []string{"Airtel", "Idea", "Vodafone", "Jio"}
+
+// OONITargets are the five ISPs of Table 1.
+var OONITargets = []string{"MTNL", "Airtel", "Idea", "Vodafone", "Jio"}
+
+// DNSCensors are the two ISPs of §4.1 / Figure 2.
+var DNSCensors = []string{"MTNL", "BSNL"}
+
+// CleanISPs are the Table 3 victims.
+var CleanISPs = []string{"NKN", "Sify", "Siti", "MTNL", "BSNL"}
+
+// probeFor builds a probe for an ISP.
+func (s *Suite) probeFor(name string) *probe.Probe {
+	return probe.New(s.World, s.World.ISP(name))
+}
+
+// coverageFor runs (or returns the cached) Table 2 scan for one ISP.
+func (s *Suite) coverageFor(name string) *probe.CoverageResult {
+	if res, ok := s.coverage[name]; ok {
+		return res
+	}
+	res := s.probeFor(name).MeasureCoverage(s.Opt.Scan)
+	s.coverage[name] = res
+	return res
+}

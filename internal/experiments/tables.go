@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/anticensor"
+	"repro/internal/ooni"
+	"repro/internal/probe"
+	"repro/internal/websim"
+)
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one ISP's OONI accuracy: (precision, recall) per censorship
+// type, as in the paper's Table 1.
+type Table1Row struct {
+	ISP                   string
+	Total, DNS, TCP, HTTP ooni.Accuracy
+}
+
+// Table1 runs the OONI replica on each ISP and scores it against the
+// oracle (standing in for the authors' manual verification).
+func (s *Suite) Table1(isps []string) []Table1Row {
+	domains := s.World.Catalog.PBWDomains()
+	if s.Opt.OONISample > 0 && s.Opt.OONISample < len(domains) {
+		domains = domains[:s.Opt.OONISample]
+	}
+	var rows []Table1Row
+	for _, name := range isps {
+		isp := s.World.ISP(name)
+		runner := ooni.NewRunner(s.World, isp)
+		rep := runner.RunAll(domains)
+		// Ground truth follows the paper's scoring: the study's full
+		// findings. For DNS that is the union over all the ISP's
+		// resolvers (OONI only ever consults the default one — the root
+		// of its low DNS recall); for HTTP it is what manual browsing
+		// from the client vantage confirms.
+		truthDNS, truthHTTP := map[string]bool{}, map[string]bool{}
+		inDomains := map[string]bool{}
+		for _, d := range domains {
+			inDomains[d] = true
+		}
+		for _, d := range isp.DNSList {
+			if inDomains[d] {
+				truthDNS[d] = true
+			}
+		}
+		for _, d := range domains {
+			if t := s.World.TruthFor(isp, d); t.HTTPFiltered {
+				truthHTTP[d] = true
+			}
+		}
+		total, dns, tcp, http := ooni.Evaluate(rep, truthDNS, truthHTTP)
+		rows = append(rows, Table1Row{ISP: name, Total: total, DNS: dns, TCP: tcp, HTTP: http})
+	}
+	return rows
+}
+
+// RenderTable1 prints the paper-style table.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Accuracy of OONI (precision, recall)\n")
+	fmt.Fprintf(&b, "%-10s %-14s %-14s %-14s %-14s\n", "ISP", "Total", "DNS", "TCP", "HTTP")
+	pr := func(a ooni.Accuracy) string {
+		return fmt.Sprintf("%.2f, %.2f", a.Precision, a.Recall)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-14s %-14s %-14s %-14s\n",
+			r.ISP, pr(r.Total), pr(r.DNS), pr(r.TCP), pr(r.HTTP))
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row is one ISP's HTTP-filtering summary.
+type Table2Row struct {
+	ISP             string
+	WithinCoverage  float64 // %
+	OutsideCoverage float64 // %
+	BoxType         string  // "WM" / "IM" / "?"
+	BlockedCount    int
+	Consistency     float64 // % (the Figure 5 average)
+}
+
+// Table2 runs the coverage scans plus the middlebox-type classification.
+func (s *Suite) Table2() []Table2Row {
+	var rows []Table2Row
+	for _, name := range HTTPCensors {
+		cov := s.coverageFor(name)
+		row := Table2Row{
+			ISP:             name,
+			WithinCoverage:  100 * cov.WithinCoverage,
+			OutsideCoverage: 100 * cov.OutsideCoverage,
+			BlockedCount:    len(cov.BlockedUnion),
+			Consistency:     100 * cov.Consistency,
+			BoxType:         s.classify(name, cov.BlockedUnion),
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// classify runs the remote-controlled-host experiment using observed
+// blocked domains (no oracle). A cheap single-fetch prescreen finds a
+// (domain, vantage) pair whose path actually crosses a box before paying
+// for the full instrumented classification.
+func (s *Suite) classify(name string, blocked []string) string {
+	p := s.probeFor(name)
+	for _, vp := range s.World.VPs {
+		for _, d := range blocked {
+			hit := false
+			for attempt := 0; attempt < 2 && !hit; attempt++ {
+				fr := probe.GetFrom(s.World.ISP(name).Client, vp.Addr(), d, nil, p.Timeout)
+				hit = fr.Notification || (fr.Reset && len(fr.Responses) == 0)
+			}
+			if !hit {
+				continue
+			}
+			cls := p.ClassifyMiddlebox(d, vp, s.Opt.ClassifyAttempts)
+			switch cls.Type {
+			case "wiretap":
+				return "WM"
+			case "interceptive":
+				return "IM"
+			}
+		}
+	}
+	return "?"
+}
+
+// RenderTable2 prints the paper-style table.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: HTTP filtering in different ISPs\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s %6s %10s %13s\n",
+		"ISP", "Cov(within)%", "Cov(outside)%", "Box", "#Blocked", "Consistency%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %14.1f %14.1f %6s %10d %13.1f\n",
+			r.ISP, r.WithinCoverage, r.OutsideCoverage, r.BoxType, r.BlockedCount, r.Consistency)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Row is one clean ISP's collateral-damage attribution.
+type Table3Row struct {
+	ISP    string
+	Result *probe.CollateralResult
+}
+
+// Table3 sweeps the PBW list from every clean ISP.
+func (s *Suite) Table3() []Table3Row {
+	domains := s.World.Catalog.PBWDomains()
+	var rows []Table3Row
+	for _, name := range CleanISPs {
+		p := s.probeFor(name)
+		rows = append(rows, Table3Row{ISP: name, Result: p.MeasureCollateral(domains)})
+	}
+	return rows
+}
+
+// RenderTable3 prints the paper-style table.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Collateral damage (censored ISP <- neighbours causing it)\n")
+	for _, r := range rows {
+		var parts []string
+		for _, n := range r.Result.Neighbors {
+			parts = append(parts, fmt.Sprintf("%s (%d)", n, r.Result.ByNeighbor[n]))
+		}
+		if len(parts) == 0 {
+			parts = []string{"none"}
+		}
+		fmt.Fprintf(&b, "%-10s %s\n", r.ISP, strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// -------------------------------------------------------------- Section 5
+
+// Section5Row is one ISP's evasion matrix.
+type Section5Row struct {
+	ISP    string
+	Matrix *anticensor.Matrix
+}
+
+// Section5 runs every evasion technique against observed-blocked domains
+// in every HTTP-censoring ISP, plus the alternate-resolver evasion in the
+// DNS-censoring ones.
+func (s *Suite) Section5() []Section5Row {
+	var rows []Section5Row
+	for _, name := range HTTPCensors {
+		p := s.probeFor(name)
+		// Use the coverage scan's observed blocked set, preferring
+		// stable (normal-kind) sites whose real content can render.
+		blocked := s.coverageFor(name).BlockedUnion
+		var sample []string
+		for _, d := range blocked {
+			if site, ok := s.World.Catalog.Site(d); ok && site.Kind == websim.KindNormal {
+				sample = append(sample, d)
+			}
+			if len(sample) >= s.Opt.EvasionSample {
+				break
+			}
+		}
+		m := anticensor.RunMatrix(p, sample, anticensor.AllTechniques, 2)
+		rows = append(rows, Section5Row{ISP: name, Matrix: m})
+	}
+	for _, name := range DNSCensors {
+		isp := s.World.ISP(name)
+		p := s.probeFor(name)
+		var victims []string
+		for _, d := range isp.DNSList {
+			site, ok := s.World.Catalog.Site(d)
+			if ok && site.Kind == websim.KindNormal && isp.Resolvers[0].PoisonsDomain(d) {
+				if t := s.World.TruthFor(isp, d); !t.HTTPFiltered {
+					victims = append(victims, d)
+				}
+			}
+			if len(victims) >= s.Opt.EvasionSample {
+				break
+			}
+		}
+		m := anticensor.RunMatrix(p, victims, []anticensor.Technique{anticensor.TechAltResolver}, 0)
+		rows = append(rows, Section5Row{ISP: name, Matrix: m})
+	}
+	return rows
+}
+
+// RenderSection5 prints the evasion matrix.
+func RenderSection5(rows []Section5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5: anti-censorship success (successes/domains tried)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s evaded %d/%d blocked domains\n", r.ISP, r.Matrix.AnyPerDomain, r.Matrix.Tried)
+		for _, t := range append(anticensor.AllTechniques, anticensor.TechAltResolver) {
+			if n, ok := r.Matrix.Success[t]; ok {
+				fmt.Fprintf(&b, "    %-24s %d/%d\n", t, n, r.Matrix.Tried)
+			}
+		}
+	}
+	return b.String()
+}

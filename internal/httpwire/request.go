@@ -1,0 +1,174 @@
+// Package httpwire implements an exact-byte HTTP/1.1 message model.
+//
+// The reproduction cannot use net/http because the experiments depend on
+// byte-level control that real HTTP libraries deliberately hide: the paper's
+// evasions work by mutating the case of the Host keyword ("HOst:"), padding
+// the value with extra spaces or tabs, or appending a second Host header
+// after the end of the request — bytes a censoring middlebox matches
+// literally but an RFC 2616 server normalizes away. Requests are therefore
+// built and parsed as raw bytes, with the builder preserving exactly what
+// the caller wrote and the parser applying RFC 2616 semantics
+// (case-insensitive field names, LWS trimming).
+package httpwire
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// CRLF terminates HTTP lines; a bare CRLF terminates the header block.
+const CRLF = "\r\n"
+
+// Header is one header field exactly as written: Name keeps its case, Raw
+// keeps the spacing of the original "Name:value" line after the colon.
+type Header struct {
+	Name string
+	Raw  string // everything after the colon, unmodified
+}
+
+// Value returns the RFC 2616 field value: Raw with leading/trailing
+// whitespace (spaces and tabs) removed.
+func (h Header) Value() string { return strings.Trim(h.Raw, " \t") }
+
+// Request is a parsed HTTP/1.1 request.
+type Request struct {
+	Method  string
+	Target  string
+	Proto   string
+	Headers []Header
+}
+
+// Host returns the value of the first Host header, matched
+// case-insensitively per RFC 2616. This is what a compliant origin server
+// uses to pick the virtual host.
+func (r *Request) Host() (string, bool) {
+	for _, h := range r.Headers {
+		if strings.EqualFold(h.Name, "Host") {
+			return strings.ToLower(h.Value()), true
+		}
+	}
+	return "", false
+}
+
+// HeaderValue returns the trimmed value of the first header whose name
+// matches name case-insensitively.
+func (r *Request) HeaderValue(name string) (string, bool) {
+	for _, h := range r.Headers {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value(), true
+		}
+	}
+	return "", false
+}
+
+// RequestBuilder assembles a request byte-for-byte. Every mutator writes
+// exactly what it is given; nothing is canonicalized. The zero value is not
+// useful; start with NewGET.
+type RequestBuilder struct {
+	requestLine string
+	lines       []string
+}
+
+// NewGET starts a standard request line "GET <path> HTTP/1.1".
+func NewGET(path string) *RequestBuilder {
+	return &RequestBuilder{requestLine: "GET " + path + " HTTP/1.1"}
+}
+
+// NewRequestLine starts from an arbitrary request line (used to test method
+// and version case mutations like "get" or "HTTP/1.0").
+func NewRequestLine(line string) *RequestBuilder {
+	return &RequestBuilder{requestLine: line}
+}
+
+// Header appends "name: value" with canonical single-space separation.
+func (b *RequestBuilder) Header(name, value string) *RequestBuilder {
+	b.lines = append(b.lines, name+": "+value)
+	return b
+}
+
+// RawLine appends an arbitrary header line exactly as given (no colon or
+// spacing is added). This is the hook the evasion suite uses.
+func (b *RequestBuilder) RawLine(line string) *RequestBuilder {
+	b.lines = append(b.lines, line)
+	return b
+}
+
+// Bytes renders the request including the terminating blank line.
+func (b *RequestBuilder) Bytes() []byte {
+	var sb strings.Builder
+	sb.WriteString(b.requestLine)
+	sb.WriteString(CRLF)
+	for _, l := range b.lines {
+		sb.WriteString(l)
+		sb.WriteString(CRLF)
+	}
+	sb.WriteString(CRLF)
+	return []byte(sb.String())
+}
+
+// StandardGET renders the request a mainstream browser would send: title-
+// case Host first, plus a User-Agent. This is the baseline the censors in
+// the paper are tuned to match.
+func StandardGET(host, path string) []byte {
+	return NewGET(path).
+		Header("Host", host).
+		Header("User-Agent", "Mozilla/5.0 (X11; Linux x86_64) repro/1.0").
+		Header("Accept", "*/*").
+		Header("Connection", "close").
+		Bytes()
+}
+
+// ErrIncomplete reports that the byte stream does not yet contain a full
+// header block; callers should wait for more data.
+var ErrIncomplete = fmt.Errorf("httpwire: incomplete request")
+
+// ParseRequest consumes one request from the front of stream, returning the
+// request and the unconsumed remainder. It implements an origin server's
+// view: field names are matched case-insensitively later via Host(), and
+// malformed messages produce an error (servers answer those with 400).
+func ParseRequest(stream []byte) (*Request, []byte, error) {
+	idx := bytes.Index(stream, []byte(CRLF+CRLF))
+	if idx < 0 {
+		return nil, stream, ErrIncomplete
+	}
+	head := string(stream[:idx])
+	rest := stream[idx+4:]
+	lines := strings.Split(head, CRLF)
+	// Tolerate leading whitespace junk before the request line (e.g. the
+	// " Host: allowed.com" tail the covert-IM evasion leaves behind is NOT
+	// tolerated — it has no request line — but empty lines are skipped).
+	for len(lines) > 0 && strings.TrimSpace(lines[0]) == "" {
+		lines = lines[1:]
+	}
+	if len(lines) == 0 {
+		return nil, rest, fmt.Errorf("httpwire: empty request")
+	}
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, rest, fmt.Errorf("httpwire: malformed request line %q", lines[0])
+	}
+	// RFC 2616 methods are case-sensitive tokens; a compliant server
+	// rejects "get".
+	method := parts[0]
+	if method != strings.ToUpper(method) {
+		return nil, rest, fmt.Errorf("httpwire: invalid method %q", method)
+	}
+	req := &Request{Method: method, Target: parts[1], Proto: parts[2]}
+	for _, l := range lines[1:] {
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		colon := strings.IndexByte(l, ':')
+		if colon <= 0 {
+			return nil, rest, fmt.Errorf("httpwire: malformed header line %q", l)
+		}
+		name := l[:colon]
+		// RFC 7230 forbids whitespace between field name and colon.
+		if strings.ContainsAny(name, " \t") {
+			return nil, rest, fmt.Errorf("httpwire: whitespace in field name %q", name)
+		}
+		req.Headers = append(req.Headers, Header{Name: name, Raw: l[colon+1:]})
+	}
+	return req, rest, nil
+}

@@ -1,0 +1,137 @@
+package httpwire
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Response is an HTTP/1.1 response with a fully buffered body.
+type Response struct {
+	Proto      string
+	StatusCode int
+	Status     string // reason phrase
+	Headers    []Header
+	Body       []byte
+}
+
+// NewResponse builds a response with the given status and body, setting
+// Content-Length automatically.
+func NewResponse(code int, reason string, body []byte) *Response {
+	return &Response{
+		Proto:      "HTTP/1.1",
+		StatusCode: code,
+		Status:     reason,
+		Body:       body,
+		Headers: []Header{
+			{Name: "Content-Length", Raw: " " + strconv.Itoa(len(body))},
+		},
+	}
+}
+
+// AddHeader appends a canonical "name: value" header.
+func (r *Response) AddHeader(name, value string) *Response {
+	r.Headers = append(r.Headers, Header{Name: name, Raw: " " + value})
+	return r
+}
+
+// HeaderValue returns the trimmed value of the first header matching name
+// case-insensitively.
+func (r *Response) HeaderValue(name string) (string, bool) {
+	for _, h := range r.Headers {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value(), true
+		}
+	}
+	return "", false
+}
+
+// HeaderNames returns the field names in order. OONI's web_connectivity
+// compares exactly this set (names, not values) between control and
+// experiment responses.
+func (r *Response) HeaderNames() []string {
+	names := make([]string, len(r.Headers))
+	for i, h := range r.Headers {
+		names[i] = h.Name
+	}
+	return names
+}
+
+// Marshal renders the response to wire bytes.
+func (r *Response) Marshal() []byte {
+	var sb bytes.Buffer
+	fmt.Fprintf(&sb, "%s %d %s%s", r.Proto, r.StatusCode, r.Status, CRLF)
+	for _, h := range r.Headers {
+		sb.WriteString(h.Name)
+		sb.WriteByte(':')
+		sb.WriteString(h.Raw)
+		sb.WriteString(CRLF)
+	}
+	sb.WriteString(CRLF)
+	sb.Write(r.Body)
+	return sb.Bytes()
+}
+
+// ParseResponse consumes one response from the front of stream. If the
+// header block declares a Content-Length larger than the available bytes it
+// returns ErrIncomplete; with no Content-Length the remainder of the stream
+// is taken as the body (connection-delimited).
+func ParseResponse(stream []byte) (*Response, []byte, error) {
+	idx := bytes.Index(stream, []byte(CRLF+CRLF))
+	if idx < 0 {
+		return nil, stream, ErrIncomplete
+	}
+	head := string(stream[:idx])
+	rest := stream[idx+4:]
+	lines := strings.Split(head, CRLF)
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, rest, fmt.Errorf("httpwire: malformed status line %q", lines[0])
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, rest, fmt.Errorf("httpwire: bad status code in %q", lines[0])
+	}
+	resp := &Response{Proto: parts[0], StatusCode: code}
+	if len(parts) == 3 {
+		resp.Status = parts[2]
+	}
+	for _, l := range lines[1:] {
+		colon := strings.IndexByte(l, ':')
+		if colon <= 0 {
+			return nil, rest, fmt.Errorf("httpwire: malformed response header %q", l)
+		}
+		resp.Headers = append(resp.Headers, Header{Name: l[:colon], Raw: l[colon+1:]})
+	}
+	if cl, ok := resp.HeaderValue("Content-Length"); ok {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, rest, fmt.Errorf("httpwire: bad Content-Length %q", cl)
+		}
+		if len(rest) < n {
+			return nil, stream, ErrIncomplete
+		}
+		resp.Body = append([]byte(nil), rest[:n]...)
+		return resp, rest[n:], nil
+	}
+	resp.Body = append([]byte(nil), rest...)
+	return resp, nil, nil
+}
+
+// Title extracts the contents of the first <title> element of an HTML body,
+// case-insensitively, or "" if none. OONI compares titles between control
+// and experiment measurements.
+func Title(body []byte) string {
+	lower := bytes.ToLower(body)
+	start := bytes.Index(lower, []byte("<title>"))
+	if start < 0 {
+		return ""
+	}
+	start += len("<title>")
+	end := bytes.Index(lower[start:], []byte("</title>"))
+	if end < 0 {
+		return ""
+	}
+	return strings.TrimSpace(string(body[start : start+end]))
+}

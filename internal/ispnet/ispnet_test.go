@@ -1,0 +1,421 @@
+package ispnet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/httpwire"
+	"repro/internal/netsim"
+	"repro/internal/websim"
+)
+
+// sharedWorld builds one small world reused across read-mostly tests.
+var sharedWorld *World
+
+func world(t *testing.T) *World {
+	t.Helper()
+	if sharedWorld == nil {
+		sharedWorld = NewWorld(SmallConfig())
+	}
+	return sharedWorld
+}
+
+func TestWorldShape(t *testing.T) {
+	w := world(t)
+	if len(w.ISPList) != 10 {
+		t.Fatalf("ISPs = %d", len(w.ISPList))
+	}
+	for _, name := range []string{"Airtel", "Idea", "Vodafone", "Jio", "MTNL", "BSNL", "NKN", "Sify", "Siti", "TATA"} {
+		isp := w.ISP(name)
+		if isp == nil {
+			t.Fatalf("missing ISP %s", name)
+		}
+		if isp.Client == nil {
+			t.Errorf("%s: no client", name)
+		}
+		if len(isp.Targets) < 2 {
+			t.Errorf("%s: no scan targets", name)
+		}
+	}
+	a := w.ISP("Airtel")
+	if len(a.Borders) != 16 || len(a.Boxes) < 12 {
+		t.Errorf("Airtel borders=%d boxes=%d", len(a.Borders), len(a.Boxes))
+	}
+	if len(w.ISP("MTNL").Resolvers) == 0 || len(w.ISP("BSNL").Resolvers) == 0 {
+		t.Error("DNS ISPs need resolver fleets")
+	}
+	if got := len(w.VPs); got != 16 {
+		t.Errorf("VPs = %d", got)
+	}
+}
+
+// fetchFromClient does a plain browser-style fetch of a domain from an
+// ISP's client, resolving via the ISP default resolver.
+func fetchFromClient(t *testing.T, w *World, isp *ISP, domain string) (stream []byte, reset bool) {
+	t.Helper()
+	addrs, _, err := isp.Client.DNS.ResolveA(isp.DefaultResolver, domain, 2*time.Second)
+	if err != nil || len(addrs) == 0 {
+		t.Fatalf("%s: resolve %s: %v", isp.Name, domain, err)
+	}
+	c := isp.Client.TCP.Connect(addrs[0], 80)
+	if err := c.WaitEstablished(2 * time.Second); err != nil {
+		return nil, true
+	}
+	c.Send(httpwire.StandardGET(domain, "/"))
+	c.WaitQuiet(3 * time.Second)
+	_, wasReset := c.WasReset()
+	out := append([]byte(nil), c.Stream()...)
+	c.Abort()
+	w.Eng.RunFor(100 * time.Millisecond)
+	return out, wasReset
+}
+
+func pickSite(w *World, wantKind websim.Kind, blockedBy *ISP, wantBlocked bool) *websim.Site {
+	inList := map[string]bool{}
+	if blockedBy != nil {
+		for _, d := range blockedBy.HTTPList {
+			inList[d] = true
+		}
+	}
+	for _, s := range w.Catalog.PBW {
+		if s.Kind != wantKind {
+			continue
+		}
+		if blockedBy != nil && inList[s.Domain] != wantBlocked {
+			continue
+		}
+		return s
+	}
+	return nil
+}
+
+func TestCleanFetchWorks(t *testing.T) {
+	w := world(t)
+	for _, name := range []string{"Airtel", "Idea", "Vodafone", "Jio", "NKN", "Siti"} {
+		isp := w.ISP(name)
+		site := pickSite(w, websim.KindNormal, isp, false)
+		if site == nil {
+			t.Fatalf("%s: no unblocked normal site", name)
+		}
+		// Ensure it's also not collaterally blocked.
+		truth := w.TruthFor(isp, site.Domain)
+		if truth.Blocked() {
+			continue
+		}
+		stream, reset := fetchFromClient(t, w, isp, site.Domain)
+		if reset || !bytes.Contains(stream, []byte("portal")) {
+			t.Errorf("%s: clean fetch of %s failed (reset=%v stream=%.60q)", name, site.Domain, reset, stream)
+		}
+	}
+}
+
+func TestBlockedFetchCensored(t *testing.T) {
+	w := world(t)
+	cases := []struct {
+		isp       string
+		signature string // empty = covert RST
+	}{
+		{"Airtel", "airtel.in/dot"},
+		{"Idea", "competent Government Authority"},
+		{"Vodafone", ""},
+		{"Jio", "restricted"},
+	}
+	for _, c := range cases {
+		isp := w.ISP(c.isp)
+		// Find a (domain, destination) pair crossing a box: the boxes are
+		// destination-agnostic, and low-coverage ISPs (Jio ~6%) may block
+		// nothing on the sites' own paths in a small world.
+		domain, dst := blockedPair(t, w, isp)
+		// Retry a few times: wiretap boxes lose ~30% of races.
+		var sawCensorship bool
+		for attempt := 0; attempt < 6 && !sawCensorship; attempt++ {
+			conn := isp.Client.TCP.Connect(dst, 80)
+			if err := conn.WaitEstablished(2 * time.Second); err != nil {
+				continue
+			}
+			conn.Send(httpwire.NewGET("/").Header("Host", domain).Bytes())
+			conn.WaitQuiet(2 * time.Second)
+			_, reset := conn.WasReset()
+			stream := conn.Stream()
+			conn.Abort()
+			w.Eng.RunFor(100 * time.Millisecond)
+			if c.signature == "" {
+				sawCensorship = reset && len(stream) == 0
+			} else {
+				sawCensorship = bytes.Contains(stream, []byte(c.signature))
+			}
+		}
+		if !sawCensorship {
+			t.Errorf("%s: censorship of %s never observed", c.isp, domain)
+		}
+	}
+}
+
+// blockedPair finds a (domain, destination address) whose path from the
+// ISP client crosses a middlebox carrying the domain.
+func blockedPair(t *testing.T, w *World, isp *ISP) (string, netip.Addr) {
+	t.Helper()
+	for _, d := range isp.HTTPList {
+		if s, ok := w.Catalog.Site(d); ok {
+			if blocked, _ := w.HTTPTruthOnPath(isp.Client, s.Addr(websim.RegionIN), d); blocked {
+				return d, s.Addr(websim.RegionIN)
+			}
+		}
+	}
+	for _, a := range w.Catalog.Alexa {
+		for _, d := range isp.HTTPList {
+			if blocked, _ := w.HTTPTruthOnPath(isp.Client, a.Addr(websim.RegionUS), d); blocked {
+				return d, a.Addr(websim.RegionUS)
+			}
+		}
+	}
+	t.Fatalf("%s: no blocked (domain,dst) pair", isp.Name)
+	return "", netip.Addr{}
+}
+
+func TestDNSPoisoningAtClient(t *testing.T) {
+	w := world(t)
+	for _, name := range []string{"MTNL", "BSNL"} {
+		isp := w.ISP(name)
+		if !isp.Resolvers[0].Poisoned() {
+			t.Fatalf("%s: default resolver not poisoned", name)
+		}
+		var victim string
+		for _, d := range isp.DNSList {
+			if isp.Resolvers[0].PoisonsDomain(d) {
+				victim = d
+				break
+			}
+		}
+		addrs, _, err := isp.Client.DNS.ResolveA(isp.DefaultResolver, victim, 2*time.Second)
+		if err != nil || len(addrs) == 0 {
+			t.Fatalf("%s: resolve: %v", name, err)
+		}
+		// Manipulated answer: the ISP block host or a bogon.
+		if addrs[0] != isp.BlockIP && addrs[0].As4()[0] != 10 {
+			t.Errorf("%s: poisoned answer = %v", name, addrs[0])
+		}
+		// The honest truth from outside differs.
+		truth, _, err := w.Control.DNS.ResolveA(w.GoogleDNS, victim, 2*time.Second)
+		if err != nil || len(truth) == 0 {
+			t.Fatalf("control resolve: %v", err)
+		}
+		if truth[0] == addrs[0] {
+			t.Errorf("%s: control resolution matches poisoned answer", name)
+		}
+	}
+}
+
+func TestCollateralDamageNKN(t *testing.T) {
+	w := world(t)
+	nkn := w.ISP("NKN")
+	if len(nkn.Boxes) != 0 {
+		t.Fatal("NKN must not own middleboxes")
+	}
+	peers := nkn.Peers()
+	if len(peers) != 2 {
+		t.Fatalf("NKN peers = %d", len(peers))
+	}
+	// Find a domain blocked on NKN's path; the responsible box must belong
+	// to Vodafone or TATA.
+	found := 0
+	for _, d := range w.Catalog.PBWDomains() {
+		tr := w.TruthFor(nkn, d)
+		if !tr.HTTPFiltered {
+			continue
+		}
+		found++
+		if tr.By.Owner != "Vodafone" && tr.By.Owner != "TATA" {
+			t.Errorf("NKN collateral from %s", tr.By.Owner)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no collateral damage observed in NKN")
+	}
+	// Verify one end to end: the fetch is actually censored.
+	var domain string
+	for _, d := range w.Catalog.PBWDomains() {
+		if tr := w.TruthFor(nkn, d); tr.HTTPFiltered && tr.By.Owner == "Vodafone" {
+			domain = d
+			break
+		}
+	}
+	if domain == "" {
+		t.Fatal("no Vodafone-collateral domain")
+	}
+	_, reset := fetchFromClient(t, w, nkn, domain)
+	if !reset {
+		t.Errorf("Vodafone covert collateral should reset the connection")
+	}
+}
+
+func TestTransitPathSymmetry(t *testing.T) {
+	w := world(t)
+	nkn := w.ISP("NKN")
+	// For a pod-hosted site, forward and reverse paths must be reverses of
+	// each other (the peering box needs both directions).
+	site := pickSite(w, websim.KindNormal, nil, false)
+	addr := site.Addr(websim.RegionIN)
+	sh, ok := w.Net.Host(addr)
+	if !ok {
+		t.Fatal("site host missing")
+	}
+	fwd := w.Net.PathBetweenHosts(nkn.Client.Host, sh)
+	rev := w.Net.PathBetweenHosts(sh, nkn.Client.Host)
+	if len(fwd) == 0 || len(fwd) != len(rev) {
+		t.Fatalf("path lengths %d vs %d", len(fwd), len(rev))
+	}
+	for i := range fwd {
+		if fwd[i] != rev[len(rev)-1-i] {
+			t.Fatalf("asymmetric transit path:\n fwd=%v\n rev=%v", routerNames(fwd), routerNames(rev))
+		}
+	}
+}
+
+func routerNames(rs []*netsim.Router) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+func TestOracleMatchesBoxLists(t *testing.T) {
+	w := world(t)
+	idea := w.ISP("Idea")
+	_, http := w.TruthSet(idea)
+	// Every truly-blocked domain must be in the ISP's union list.
+	inList := map[string]bool{}
+	for _, d := range idea.HTTPList {
+		inList[d] = true
+	}
+	for d := range http {
+		if !inList[d] {
+			t.Errorf("oracle blocked %s not in Idea list", d)
+		}
+	}
+	// Idea has ~92%% coverage and high consistency, so most of the list
+	// should be blocked from the client.
+	if len(http) < len(idea.HTTPList)/2 {
+		t.Errorf("only %d/%d Idea sites blocked from client", len(http), len(idea.HTTPList))
+	}
+}
+
+func TestJioInvisibleFromOutside(t *testing.T) {
+	w := world(t)
+	jio := w.ISP("Jio")
+	// From every VP, no Jio box may trigger toward Jio targets.
+	for _, vp := range w.VPs {
+		for _, tgt := range jio.Targets[:2] {
+			for _, d := range jio.HTTPList[:5] {
+				if blocked, _ := w.HTTPTruthOnPath(vp, tgt, d); blocked {
+					t.Fatalf("Jio box visible from VP %v", vp.Addr())
+				}
+			}
+		}
+	}
+	// But from inside, some (domain, destination) pairs are filtered.
+	blockedPair(t, w, jio)
+}
+
+func TestCDNRegionalResolution(t *testing.T) {
+	w := world(t)
+	var cdn *websim.Site
+	for _, s := range w.Catalog.PBW {
+		if s.Kind == websim.KindCDN && s.Addrs[websim.RegionIN] != s.Addrs[websim.RegionUS] {
+			cdn = s
+			break
+		}
+	}
+	if cdn == nil {
+		t.Skip("no regional CDN site in small catalog")
+	}
+	airtel := w.ISP("Airtel")
+	inAddrs, _, err := airtel.Client.DNS.ResolveA(airtel.DefaultResolver, cdn.Domain, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usAddrs, _, err := w.Control.DNS.ResolveA(w.GoogleDNS, cdn.Domain, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inAddrs[0] == usAddrs[0] {
+		t.Error("regional CDN resolved identically from IN and US")
+	}
+}
+
+func TestCirculantProperties(t *testing.T) {
+	domains := make([]string, 200)
+	for i := range domains {
+		domains[i] = pickDomains(world(t).Catalog.PBWDomains(), 200, "circ")[i]
+	}
+	K, s := 12, 0.123
+	lists := circulantLists(domains, K, s, "test")
+	// Union must equal the full list.
+	union := map[string]bool{}
+	total := 0
+	for _, l := range lists {
+		for _, d := range l {
+			union[d] = true
+		}
+		total += len(l)
+	}
+	if len(union) != len(domains) {
+		t.Errorf("union = %d, want %d", len(union), len(domains))
+	}
+	// Average per-URL width must be near s*K.
+	avgW := float64(total) / float64(len(domains))
+	if avgW < s*float64(K)*0.8 || avgW > s*float64(K)*1.3 {
+		t.Errorf("avg width = %.2f, want ~%.2f", avgW, s*float64(K))
+	}
+}
+
+func TestPickDomainsDeterministicDisjointSalts(t *testing.T) {
+	w := world(t)
+	all := w.Catalog.PBWDomains()
+	a1 := pickDomains(all, 50, "salt-a")
+	a2 := pickDomains(all, 50, "salt-a")
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("pickDomains not deterministic")
+		}
+	}
+	b := pickDomains(all, 50, "salt-b")
+	same := 0
+	for _, d := range a1 {
+		for _, e := range b {
+			if d == e {
+				same++
+			}
+		}
+	}
+	if same == 50 {
+		t.Error("different salts produced identical selections")
+	}
+}
+
+func TestGoneSiteTimesOut(t *testing.T) {
+	w := world(t)
+	var gone *websim.Site
+	for _, s := range w.Catalog.PBW {
+		if s.Kind == websim.KindGone {
+			gone = s
+			break
+		}
+	}
+	if gone == nil {
+		t.Skip("no gone site")
+	}
+	// Resolves fine...
+	addrs, _, err := w.Control.DNS.ResolveA(w.GoogleDNS, gone.Domain, 2*time.Second)
+	if err != nil || len(addrs) == 0 {
+		t.Fatalf("gone site should still resolve: %v", err)
+	}
+	// ...but connecting times out.
+	c := w.Control.TCP.Connect(addrs[0], 80)
+	if err := c.WaitEstablished(2 * time.Second); err == nil {
+		t.Error("connect to gone site succeeded")
+	}
+}

@@ -1,0 +1,101 @@
+package ispnet
+
+import (
+	"net/netip"
+
+	"repro/internal/middlebox"
+	"repro/internal/websim"
+)
+
+// The oracle answers, from the simulator's own configuration, what the
+// paper's authors established by manually browsing from each vantage
+// point: which sites are actually interfered with for a given client. All
+// detector accuracy metrics (Table 1) are computed against these answers.
+
+// Truth is the ground-truth censorship status of one site from one client.
+type Truth struct {
+	Domain string
+	// DNSPoisoned: the client's default resolver manipulates this domain.
+	DNSPoisoned bool
+	// HTTPFiltered: a middlebox on the client's path to the site's address
+	// carries this domain.
+	HTTPFiltered bool
+	// By is the middlebox responsible for HTTP filtering (nil if none).
+	By *BoxRef
+}
+
+// Blocked reports whether any mechanism interferes.
+func (t Truth) Blocked() bool { return t.DNSPoisoned || t.HTTPFiltered }
+
+// boxWouldTrigger mirrors the middlebox scope check for a client->server
+// flow crossing the box.
+func (w *World) boxWouldTrigger(b *BoxRef, src, dst netip.Addr, domain string) bool {
+	if !b.List.Contains(domain) {
+		return false
+	}
+	owner := w.ISPs[b.Owner]
+	inOwn := func(a netip.Addr) bool {
+		for _, p := range owner.Prefixes {
+			if p.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+	switch b.Scope {
+	case middlebox.ScopeAll:
+		return true
+	case middlebox.ScopeSrcOrDst:
+		return inOwn(src) || inOwn(dst)
+	default:
+		return inOwn(src)
+	}
+}
+
+// HTTPTruthOnPath reports whether (and by which box) a GET for domain from
+// the endpoint to dstAddr would be censored.
+func (w *World) HTTPTruthOnPath(from *Endpoint, dstAddr netip.Addr, domain string) (bool, *BoxRef) {
+	path := w.Net.PathHostToAddr(from.Host, dstAddr)
+	for _, r := range path {
+		for _, b := range w.boxesByRouter[r.ID] {
+			if w.boxWouldTrigger(b, from.Addr(), dstAddr, domain) {
+				return true, b
+			}
+		}
+	}
+	return false, nil
+}
+
+// TruthFor computes the full ground truth for one site from an ISP's
+// measurement client.
+func (w *World) TruthFor(isp *ISP, domain string) Truth {
+	t := Truth{Domain: domain}
+	if len(isp.Resolvers) > 0 {
+		t.DNSPoisoned = isp.Resolvers[0].PoisonsDomain(domain)
+	}
+	site, ok := w.Catalog.Site(domain)
+	if !ok {
+		return t
+	}
+	// Manual verification browses with the site's real (IN-view) address.
+	addr := site.Addr(websim.RegionIN)
+	t.HTTPFiltered, t.By = w.HTTPTruthOnPath(isp.Client, addr, domain)
+	return t
+}
+
+// TruthSet computes ground truth for every PBW from an ISP's client,
+// returning the domains truly blocked by each mechanism.
+func (w *World) TruthSet(isp *ISP) (dns, http map[string]bool) {
+	dns = make(map[string]bool)
+	http = make(map[string]bool)
+	for _, d := range w.Catalog.PBWDomains() {
+		t := w.TruthFor(isp, d)
+		if t.DNSPoisoned {
+			dns[d] = true
+		}
+		if t.HTTPFiltered {
+			http[d] = true
+		}
+	}
+	return dns, http
+}

@@ -1,0 +1,187 @@
+// Package ispnet assembles the simulated Indian Internet of the paper: the
+// nine studied ISPs plus TATA as a censorious transit, a global fabric of
+// web-hosting pods, the external measurement infrastructure (Tor exits,
+// OONI control, PlanetLab-style vantage points), middlebox deployment, DNS
+// resolver fleets, and the peering/transit relationships that produce the
+// paper's collateral-damage observations.
+//
+// Everything tunable is calibrated from numbers the paper publishes
+// (Table 2, Table 3, Figure 2/5, §4.1); everything measured is produced by
+// running the probe code against the resulting packet-level network.
+package ispnet
+
+import "repro/internal/middlebox"
+
+// CensorKind is the censorship mechanism an ISP operates itself.
+type CensorKind int
+
+// Censorship mechanisms found by the paper (§4): HTTP filtering by wiretap
+// or interceptive middleboxes, DNS poisoning, or nothing.
+const (
+	CensorNone CensorKind = iota
+	CensorWM
+	CensorIMOvert
+	CensorIMCovert
+	CensorDNS
+)
+
+func (k CensorKind) String() string {
+	return [...]string{"none", "wiretap", "interceptive-overt", "interceptive-covert", "dns-poisoning"}[k]
+}
+
+// TransitLink declares that a customer ISP reaches one hosting region
+// through a provider, and how many PBWs the provider's peering-link
+// middlebox carries (Table 3 calibration).
+type TransitLink struct {
+	Provider string
+	// Region is "US", "EU" or "ALL" (single-homed customers).
+	Region string
+	// CollateralCount is the size of the provider's blocklist on this
+	// peering link.
+	CollateralCount int
+}
+
+// Profile is the static calibration for one ISP.
+type Profile struct {
+	Name string
+	ASN  int
+	// Base octets: the ISP owns Base1.Base2.0.0/16.
+	Base1, Base2 byte
+
+	// Edges is the number of access/aggregation units; each claims a /24
+	// with subscriber hosts.
+	Edges int
+
+	// Borders is the number of egress units connecting to the global
+	// pods; 0 for transit-customer ISPs.
+	Borders int
+
+	// HTTP filtering calibration (Table 2).
+	Boxes         int     // middleboxes deployed (on Borders)
+	BoxesSrcOrDst int     // subset also inspecting traffic *to* the ISP
+	Consistency   float64 // per-URL share of boxes carrying it (Figure 5)
+	BlockCount    int     // size of the ISP's HTTP blocklist
+	Censor        CensorKind
+	Style         middlebox.NotifStyle
+	WMLossProb    float64 // wiretap race losses (paper: ~3/10)
+
+	// DNS filtering calibration (§4.1, Figure 2).
+	Resolvers          int
+	PoisonedResolvers  int
+	DNSBlockCount      int
+	DNSConsistency     float64
+	ClientResolverSize int // poison-list size of the client's default resolver
+
+	// Transits lists upstream providers for customer ISPs (Table 3).
+	Transits []TransitLink
+}
+
+// ASNs for the simulated ISPs and fabric.
+const (
+	ASNAirtel   = 101
+	ASNIdea     = 102
+	ASNVodafone = 103
+	ASNJio      = 104
+	ASNMTNL     = 105
+	ASNBSNL     = 106
+	ASNNKN      = 107
+	ASNSify     = 108
+	ASNSiti     = 109
+	ASNTATA     = 110
+	ASNHub      = 64500
+	ASNPodsUS   = 64501
+	ASNPodsEU   = 64502
+	ASNINDC     = 64510
+	ASNExt      = 64520
+)
+
+// DefaultProfiles returns the calibrated ten-ISP world of the paper.
+//
+// Coverage arithmetic (Table 2): within-ISP coverage ≈ Boxes/Borders since
+// each destination pod is served by exactly one border; outside coverage ≈
+// BoxesSrcOrDst/Borders since only src-or-dst-scoped boxes see inbound
+// probes. Airtel 12/16 = 75% & 9/16 = 56%; Idea 11/12 = 91.7% both;
+// Vodafone 9/80 = 11.25% & 2/80 = 2.5%; Jio 2/32 = 6.25% & 0 (all boxes
+// source-only — the paper's hypothesis for never seeing Jio boxes from
+// outside, stated as "filtering ... for source IPs belonging to Jio").
+func DefaultProfiles() []Profile {
+	return []Profile{
+		{
+			Name: "Airtel", ASN: ASNAirtel, Base1: 23, Base2: 10,
+			Edges: 10, Borders: 16,
+			Boxes: 12, BoxesSrcOrDst: 9, Consistency: 0.123, BlockCount: 234,
+			Censor: CensorWM, Style: middlebox.StyleAirtel, WMLossProb: 0.3,
+		},
+		{
+			Name: "Idea", ASN: ASNIdea, Base1: 23, Base2: 20,
+			Edges: 8, Borders: 12,
+			Boxes: 11, BoxesSrcOrDst: 11, Consistency: 0.768, BlockCount: 338,
+			Censor: CensorIMOvert, Style: middlebox.StyleIdea,
+		},
+		{
+			Name: "Vodafone", ASN: ASNVodafone, Base1: 23, Base2: 30,
+			Edges: 8, Borders: 80,
+			Boxes: 9, BoxesSrcOrDst: 1, Consistency: 0.116, BlockCount: 483,
+			Censor: CensorIMCovert, Style: middlebox.StyleVodafone,
+		},
+		{
+			Name: "Jio", ASN: ASNJio, Base1: 23, Base2: 40,
+			Edges: 8, Borders: 32,
+			Boxes: 2, BoxesSrcOrDst: 0, Consistency: 0.5, BlockCount: 200,
+			Censor: CensorWM, Style: middlebox.StyleJio, WMLossProb: 0.3,
+		},
+		{
+			Name: "MTNL", ASN: ASNMTNL, Base1: 23, Base2: 50,
+			Edges: 56, Censor: CensorDNS,
+			Resolvers: 448, PoisonedResolvers: 345,
+			DNSBlockCount: 450, DNSConsistency: 0.424, ClientResolverSize: 45,
+			Transits: []TransitLink{
+				{Provider: "TATA", Region: "US", CollateralCount: 134},
+				{Provider: "Airtel", Region: "EU", CollateralCount: 25},
+			},
+		},
+		{
+			Name: "BSNL", ASN: ASNBSNL, Base1: 23, Base2: 60,
+			Edges: 23, Censor: CensorDNS,
+			Resolvers: 182, PoisonedResolvers: 17,
+			DNSBlockCount: 300, DNSConsistency: 0.075, ClientResolverSize: 22,
+			Transits: []TransitLink{
+				{Provider: "TATA", Region: "US", CollateralCount: 156},
+				{Provider: "Airtel", Region: "EU", CollateralCount: 1},
+			},
+		},
+		{
+			Name: "NKN", ASN: ASNNKN, Base1: 23, Base2: 70,
+			Edges: 4, Censor: CensorNone,
+			Transits: []TransitLink{
+				{Provider: "Vodafone", Region: "US", CollateralCount: 69},
+				{Provider: "TATA", Region: "EU", CollateralCount: 8},
+			},
+		},
+		{
+			Name: "Sify", ASN: ASNSify, Base1: 23, Base2: 80,
+			Edges: 4, Censor: CensorNone,
+			Transits: []TransitLink{
+				{Provider: "TATA", Region: "US", CollateralCount: 142},
+				{Provider: "Airtel", Region: "EU", CollateralCount: 2},
+			},
+		},
+		{
+			Name: "Siti", ASN: ASNSiti, Base1: 23, Base2: 90,
+			Edges: 4, Censor: CensorNone,
+			Transits: []TransitLink{
+				{Provider: "Airtel", Region: "ALL", CollateralCount: 110},
+			},
+		},
+		{
+			Name: "TATA", ASN: ASNTATA, Base1: 23, Base2: 100,
+			Edges: 6, Borders: 16, Censor: CensorNone,
+			Style: middlebox.StyleTATA,
+		},
+	}
+}
+
+// HTTPCensoring reports whether the profile operates HTTP middleboxes.
+func (p *Profile) HTTPCensoring() bool {
+	return p.Censor == CensorWM || p.Censor == CensorIMOvert || p.Censor == CensorIMCovert
+}

@@ -1,0 +1,65 @@
+package middlebox
+
+import (
+	"net/netip"
+
+	"repro/internal/dnswire"
+	"repro/internal/netpkt"
+	"repro/internal/netsim"
+)
+
+// DNSInjector is an on-path DNS injection middlebox in the style attributed
+// to the Great Firewall: it watches port-53 queries for censored domains
+// and races a forged answer back from mid-path, while the genuine query
+// continues to the resolver.
+//
+// The paper found *no* DNS injection in India — poisoning happens at the
+// resolvers themselves — but the Iterative Network Tracer's DNS variant
+// exists precisely to tell the two apart, so the reproduction includes an
+// injector to validate that the tracer distinguishes them (answers from an
+// intermediate hop vs only from the final hop).
+type DNSInjector struct {
+	Cfg Config
+	// Answer is the forged address returned for censored names.
+	Answer netip.Addr
+
+	net *netsim.Network
+
+	// Triggers counts injected responses.
+	Triggers int
+}
+
+// NewDNSInjector builds an injector; attach it with Router.AttachTap.
+func NewDNSInjector(net *netsim.Network, cfg Config, answer netip.Addr) *DNSInjector {
+	return &DNSInjector{Cfg: cfg, Answer: answer, net: net}
+}
+
+// Observe implements netsim.Tap.
+func (d *DNSInjector) Observe(pkt *netpkt.Packet, at *netsim.Router) {
+	if pkt.UDP == nil || pkt.UDP.DstPort != 53 {
+		return
+	}
+	if !d.Cfg.inScope(pkt.IP.Src, pkt.IP.Dst) {
+		return
+	}
+	q, err := dnswire.Parse(pkt.UDP.Payload)
+	if err != nil || q.Response || len(q.Questions) == 0 {
+		return
+	}
+	if !d.Cfg.Blocklist.Contains(q.Questions[0].Name) {
+		return
+	}
+	d.Triggers++
+	forged := q.Answer(dnswire.RCodeNoError, 60, d.Answer)
+	payload, err := forged.Marshal()
+	if err != nil {
+		return
+	}
+	resolver, client := pkt.IP.Dst, pkt.IP.Src
+	cPort := pkt.UDP.SrcPort
+	d.net.Engine().Schedule(0, func() {
+		d.net.InjectAt(at, netpkt.NewUDP(resolver, client, &netpkt.UDPDatagram{
+			SrcPort: 53, DstPort: cPort, Payload: payload,
+		}))
+	})
+}

@@ -1,0 +1,128 @@
+// Package middlebox implements the two censorship middlebox families the
+// paper discovered in Indian ISPs:
+//
+//   - Wiretap middleboxes (WM — Airtel, Reliance Jio): fed by a tap, they
+//     race the real server: on seeing a censored GET they inject a forged
+//     HTTP 200 OK carrying the censorship notification with TCP FIN+PSH
+//     set and correct sequence numbers, followed by a bare RST. Working
+//     from a copy of the traffic, they sometimes lose the race (the paper
+//     measured ~3 in 10 page loads slipping through).
+//
+//   - Interceptive middleboxes (IM — Idea overt, Vodafone covert): inline
+//     transparent-proxy-like boxes that consume the triggering GET (it
+//     never reaches the server), answer the client themselves (overt: a
+//     notification page + FIN; covert: a bare RST), send their own RST to
+//     the server, and blackhole the remainder of the flow — which is why
+//     the paper saw the client's 4-way teardown time out.
+//
+// Both kinds are stateful: they begin inspecting a flow only after
+// observing a complete TCP three-way handshake, keep per-flow state for
+// 2-3 minutes refreshed by any traffic, inspect only TCP port 80, and
+// trigger exclusively on the Host header of a GET request — matched
+// byte-for-byte ("Host" case-sensitively, exactly one space, no padding),
+// which is precisely the rigidity every §5 evasion exploits.
+package middlebox
+
+import (
+	"bytes"
+	"strings"
+)
+
+var (
+	getPrefix = []byte("GET ")
+	hostColon = []byte("Host: ")
+	crlf      = []byte("\r\n")
+)
+
+// ExtractHost pulls the censorship-relevant domain out of one raw TCP
+// payload the way the paper's middleboxes do. It returns ok=false when the
+// payload would not trigger inspection at all.
+//
+// lastHost selects the covert-interceptive behaviour (Vodafone): the value
+// of the *last* "Host: " occurrence anywhere in the payload is used. The
+// default (first match) walks header lines strictly.
+//
+// The matcher is deliberately brittle, reproducing the observed evasions:
+//   - payload must start with exactly "GET " (case-sensitive);
+//   - the keyword must be exactly "Host" ("HOst:", "HOST:" never match);
+//   - exactly one space after the colon, and no leading/trailing space or
+//     tab around the value ("Host:  x.com" and "Host: x.com " never match);
+//   - a censored domain anywhere else in the request (the URL path, another
+//     header's value) does not trigger.
+func ExtractHost(payload []byte, lastHost bool) (string, bool) {
+	if !bytes.HasPrefix(payload, getPrefix) {
+		return "", false
+	}
+	if lastHost {
+		idx := bytes.LastIndex(payload, hostColon)
+		if idx < 0 {
+			return "", false
+		}
+		val := payload[idx+len(hostColon):]
+		if end := bytes.Index(val, crlf); end >= 0 {
+			val = val[:end]
+		}
+		return normalizeHostValue(val)
+	}
+	rest := payload
+	first := true
+	for len(rest) > 0 {
+		line := rest
+		if end := bytes.Index(rest, crlf); end >= 0 {
+			line = rest[:end]
+			rest = rest[end+2:]
+		} else {
+			rest = nil
+		}
+		if first { // skip the request line
+			first = false
+			continue
+		}
+		if len(line) == 0 { // end of headers
+			break
+		}
+		if bytes.HasPrefix(line, hostColon) {
+			return normalizeHostValue(line[len(hostColon):])
+		}
+	}
+	return "", false
+}
+
+// normalizeHostValue lower-cases a candidate value, rejecting any value
+// with surrounding or embedded whitespace.
+func normalizeHostValue(val []byte) (string, bool) {
+	if len(val) == 0 {
+		return "", false
+	}
+	if val[0] == ' ' || val[0] == '\t' || val[len(val)-1] == ' ' || val[len(val)-1] == '\t' {
+		return "", false
+	}
+	if bytes.ContainsAny(val, " \t") {
+		return "", false
+	}
+	return strings.ToLower(string(val)), true
+}
+
+// Blocklist is a set of censored domains.
+type Blocklist map[string]bool
+
+// NewBlocklist builds a set from a domain slice.
+func NewBlocklist(domains []string) Blocklist {
+	b := make(Blocklist, len(domains))
+	for _, d := range domains {
+		b[strings.ToLower(d)] = true
+	}
+	return b
+}
+
+// Contains reports membership.
+func (b Blocklist) Contains(domain string) bool { return b[domain] }
+
+// Domains returns the list's members (order unspecified).
+func (b Blocklist) Domains() []string {
+	out := make([]string, 0, len(b))
+	for d := range b {
+		out = append(out, d)
+	}
+	return out
+}

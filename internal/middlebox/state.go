@@ -1,0 +1,221 @@
+package middlebox
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/netpkt"
+	"repro/internal/sim"
+)
+
+// Scope selects which traffic a middlebox inspects, the knob behind the
+// paper's within-ISP vs outside-ISP coverage gap (Table 2) and the Jio
+// anomaly (source filtering makes Jio's boxes invisible from outside).
+type Scope int
+
+// Scopes.
+const (
+	// ScopeSrcOnly inspects packets whose source is inside the owning
+	// ISP's prefixes — subscriber egress traffic only. Boxes with this
+	// scope are invisible to probes entering from outside (all of Jio's).
+	ScopeSrcOnly Scope = iota
+	// ScopeSrcOrDst additionally inspects packets addressed to the ISP's
+	// own prefixes, so outside probes towards internal hosts see them.
+	ScopeSrcOrDst
+	// ScopeAll inspects everything crossing the box — used on dedicated
+	// customer-peering links, where transiting customer traffic is the
+	// point (the collateral-damage mechanism of Table 3).
+	ScopeAll
+)
+
+// NotifStyle describes the ISP-specific censorship response, which is what
+// lets the paper attribute anonymized middleboxes to ISPs (§6.1).
+type NotifStyle struct {
+	ISP string
+	// BodyHTML is the notification body; empty plus Covert means bare RST.
+	BodyHTML string
+	// MimicHeaders makes the forged response carry the same header *names*
+	// as a typical origin server — the property that blinds OONI (§6.2).
+	MimicHeaders bool
+	// IPID pins the IP identification field of every injected packet
+	// (Airtel's boxes always use 242 — the paper's firewalling evasion
+	// keys on it).
+	IPID uint16
+	// Covert styles send only a RST, no notification page (Vodafone).
+	Covert bool
+}
+
+// Standard notification styles observed in the paper.
+var (
+	StyleAirtel = NotifStyle{
+		ISP: "Airtel",
+		BodyHTML: `<html><body><iframe src="http://www.airtel.in/dot/"></iframe>` +
+			`The website has been blocked as per instructions of DoT</body></html>`,
+		MimicHeaders: true,
+		IPID:         242,
+	}
+	StyleJio = NotifStyle{
+		ISP: "Jio",
+		BodyHTML: `<html><body><script>window.location="http://49.44.18.2/alert.html"` +
+			`</script>Access to this site has been restricted</body></html>`,
+		MimicHeaders: true,
+	}
+	StyleIdea = NotifStyle{
+		ISP: "Idea",
+		BodyHTML: `<html><body>This URL has been blocked under instructions of a ` +
+			`competent Government Authority</body></html>`,
+	}
+	StyleVodafone = NotifStyle{ISP: "Vodafone", Covert: true}
+	StyleTATA     = NotifStyle{
+		ISP: "TATA",
+		BodyHTML: `<html><body>Error 403: access denied as per DoT directive ` +
+			`(TATA Communications)</body></html>`,
+	}
+)
+
+// Config is shared by both middlebox kinds.
+type Config struct {
+	ID        string
+	ASN       int // owning ISP
+	Blocklist Blocklist
+	Scope     Scope
+	// OwnPrefixes are the owning ISP's advertised prefixes, consulted by
+	// Scope checks.
+	OwnPrefixes []netip.Prefix
+	// LastHostMatch selects the covert-IM "last Host header wins" parsing.
+	LastHostMatch bool
+	// StateTimeout purges idle flow state; the paper measured 2-3 minutes.
+	StateTimeout time.Duration
+	Style        NotifStyle
+}
+
+func (c *Config) timeout() time.Duration {
+	if c.StateTimeout == 0 {
+		return 150 * time.Second
+	}
+	return c.StateTimeout
+}
+
+func (c *Config) inOwn(a netip.Addr) bool {
+	for _, p := range c.OwnPrefixes {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// inScope applies the box's traffic scope to a client->server packet.
+func (c *Config) inScope(src, dst netip.Addr) bool {
+	switch c.Scope {
+	case ScopeAll:
+		return true
+	case ScopeSrcOrDst:
+		return c.inOwn(src) || c.inOwn(dst)
+	default:
+		return c.inOwn(src)
+	}
+}
+
+// flowState is the per-connection record a stateful middlebox keeps.
+type flowState struct {
+	synSeen    bool
+	synAckSeen bool
+	// established is set only after the full three-way handshake was
+	// observed — the property the paper's SYN-only/no-handshake probes
+	// verify (§4.2.1 caveat).
+	established bool
+	clientISS   uint32
+	serverISS   uint32
+	// clientNxt / serverNxt track each side's next sequence number as
+	// observed, so forged packets carry numbers the client stack accepts.
+	clientNxt uint32
+	serverNxt uint32
+	lastSeen  sim.Time
+	// blackholed flows (interceptive boxes, post-trigger) are dropped.
+	blackholed bool
+}
+
+// flowTable tracks flows with idle timeout.
+type flowTable struct {
+	flows   map[netpkt.FlowKey]*flowState
+	timeout time.Duration
+	now     func() sim.Time
+}
+
+func newFlowTable(timeout time.Duration, now func() sim.Time) *flowTable {
+	return &flowTable{flows: make(map[netpkt.FlowKey]*flowState), timeout: timeout, now: now}
+}
+
+// get returns live state for the client-first key, purging it when expired.
+func (t *flowTable) get(key netpkt.FlowKey) *flowState {
+	st, ok := t.flows[key]
+	if !ok {
+		return nil
+	}
+	if t.now().Sub(st.lastSeen) > t.timeout {
+		delete(t.flows, key)
+		return nil
+	}
+	return st
+}
+
+func (t *flowTable) create(key netpkt.FlowKey) *flowState {
+	st := &flowState{lastSeen: t.now()}
+	t.flows[key] = st
+	// Opportunistic sweep to bound memory during large scans.
+	if len(t.flows) > 4096 {
+		cutoff := t.now()
+		for k, s := range t.flows {
+			if cutoff.Sub(s.lastSeen) > t.timeout {
+				delete(t.flows, k)
+			}
+		}
+	}
+	return st
+}
+
+// observe updates flow state from one packet and returns the state (nil if
+// the packet belongs to no tracked flow and starts none). clientKey
+// reports whether pkt travels client->server.
+func (t *flowTable) observe(pkt *netpkt.Packet) (st *flowState, clientToServer bool) {
+	tcp := pkt.TCP
+	key := pkt.Flow()
+	// New flow: a bare SYN defines the client side.
+	if tcp.Flags.Has(netpkt.SYN) && !tcp.Flags.Has(netpkt.ACK) {
+		st = t.create(key)
+		st.synSeen = true
+		st.clientISS = tcp.Seq
+		st.clientNxt = tcp.Seq + 1
+		return st, true
+	}
+	if st = t.get(key); st != nil {
+		st.lastSeen = t.now()
+		// client -> server direction
+		if tcp.Flags.Has(netpkt.ACK) && st.synAckSeen && !st.established && tcp.Ack == st.serverISS+1 {
+			st.established = true
+		}
+		if adv := tcp.Seq + tcp.SeqSpan(); seqAfter(adv, st.clientNxt) {
+			st.clientNxt = adv
+		}
+		return st, true
+	}
+	rev := key.Reverse()
+	if st = t.get(rev); st != nil {
+		st.lastSeen = t.now()
+		// server -> client direction
+		if tcp.Flags.Has(netpkt.SYN|netpkt.ACK) && !st.synAckSeen {
+			st.synAckSeen = true
+			st.serverISS = tcp.Seq
+			st.serverNxt = tcp.Seq + 1
+		}
+		if adv := tcp.Seq + tcp.SeqSpan(); st.synAckSeen && seqAfter(adv, st.serverNxt) {
+			st.serverNxt = adv
+		}
+		return st, false
+	}
+	return nil, false
+}
+
+// seqAfter reports a > b in 32-bit sequence space.
+func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }

@@ -1,0 +1,124 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// ICMPType is the ICMP message type.
+type ICMPType uint8
+
+// ICMP types used by the simulation.
+const (
+	ICMPEchoReply      ICMPType = 0
+	ICMPDestUnreach    ICMPType = 3
+	ICMPEchoRequest    ICMPType = 8
+	ICMPTimeExceeded   ICMPType = 11
+	icmpPortUnreachCod uint8    = 3
+)
+
+// ICMPMessage is an ICMP message. For error messages (Time Exceeded,
+// Destination Unreachable), Original carries the embedded bytes of the
+// offending datagram — IP header plus at least 8 payload bytes, as RFC 792
+// requires — which is how traceroute implementations (and our Iterative
+// Network Tracer) match responses to probes.
+type ICMPMessage struct {
+	Type     ICMPType
+	Code     uint8
+	ID, Seq  uint16 // echo only
+	Original []byte // error messages only
+}
+
+// Kind renders the message type for traces.
+func (m *ICMPMessage) Kind() string {
+	switch m.Type {
+	case ICMPEchoReply:
+		return "echo-reply"
+	case ICMPEchoRequest:
+		return "echo-request"
+	case ICMPTimeExceeded:
+		return "time-exceeded"
+	case ICMPDestUnreach:
+		if m.Code == icmpPortUnreachCod {
+			return "port-unreachable"
+		}
+		return fmt.Sprintf("dest-unreachable(code=%d)", m.Code)
+	default:
+		return fmt.Sprintf("icmp(type=%d,code=%d)", m.Type, m.Code)
+	}
+}
+
+const icmpHeaderLen = 8
+
+func (m *ICMPMessage) marshal() ([]byte, error) {
+	b := make([]byte, icmpHeaderLen+len(m.Original))
+	b[0] = uint8(m.Type)
+	b[1] = m.Code
+	switch m.Type {
+	case ICMPEchoRequest, ICMPEchoReply:
+		binary.BigEndian.PutUint16(b[4:6], m.ID)
+		binary.BigEndian.PutUint16(b[6:8], m.Seq)
+	}
+	copy(b[icmpHeaderLen:], m.Original)
+	binary.BigEndian.PutUint16(b[2:4], checksum(b))
+	return b, nil
+}
+
+func parseICMP(b []byte) (*ICMPMessage, error) {
+	if len(b) < icmpHeaderLen {
+		return nil, fmt.Errorf("netpkt: short ICMP message (%d bytes)", len(b))
+	}
+	if checksum(b) != 0 {
+		return nil, fmt.Errorf("netpkt: ICMP checksum mismatch")
+	}
+	m := &ICMPMessage{Type: ICMPType(b[0]), Code: b[1]}
+	switch m.Type {
+	case ICMPEchoRequest, ICMPEchoReply:
+		m.ID = binary.BigEndian.Uint16(b[4:6])
+		m.Seq = binary.BigEndian.Uint16(b[6:8])
+	default:
+		m.Original = append([]byte(nil), b[icmpHeaderLen:]...)
+	}
+	return m, nil
+}
+
+// NewTimeExceeded builds the ICMP Time Exceeded message a router at
+// routerAddr sends back to the source of expired, embedding the first bytes
+// of the expired datagram.
+func NewTimeExceeded(routerAddr netip.Addr, expired *Packet) *Packet {
+	orig, err := expired.Marshal()
+	if err != nil {
+		orig = nil
+	}
+	// RFC 792: IP header + 64 bits of original payload. Modern stacks embed
+	// more; we keep 28 bytes (20-byte header + 8), enough for flow matching.
+	if len(orig) > 28 {
+		orig = orig[:28]
+	}
+	return &Packet{
+		IP:   IPv4{Src: routerAddr, Dst: expired.IP.Src, TTL: 64, Protocol: ProtoICMP},
+		ICMP: &ICMPMessage{Type: ICMPTimeExceeded, Code: 0, Original: orig},
+	}
+}
+
+// OriginalFlow recovers the flow key of the datagram embedded in an ICMP
+// error message, so probes can match Time Exceeded responses to the probe
+// that elicited them.
+func (m *ICMPMessage) OriginalFlow() (FlowKey, bool) {
+	b := m.Original
+	if len(b) < ipv4HeaderLen+4 {
+		return FlowKey{}, false
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl+4 {
+		return FlowKey{}, false
+	}
+	return FlowKey{
+		Src:     netip.AddrFrom4([4]byte(b[12:16])),
+		Dst:     netip.AddrFrom4([4]byte(b[16:20])),
+		Proto:   Protocol(b[9]),
+		SrcPort: binary.BigEndian.Uint16(b[ihl : ihl+2]),
+		DstPort: binary.BigEndian.Uint16(b[ihl+2 : ihl+4]),
+	}, true
+}

@@ -1,0 +1,157 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv4 is the fixed part of an IPv4 header (no options).
+type IPv4 struct {
+	Src, Dst netip.Addr
+	TTL      uint8
+	Protocol Protocol
+	ID       uint16 // identification field; Airtel's wiretap boxes pin this to 242
+	DF       bool   // don't-fragment
+	TOS      uint8
+}
+
+// ipv4HeaderLen is the length of an optionless IPv4 header.
+const ipv4HeaderLen = 20
+
+// Marshal serializes the whole packet (IP header + transport) into wire
+// bytes with valid checksums.
+func (p *Packet) Marshal() ([]byte, error) {
+	var payload []byte
+	var err error
+	switch {
+	case p.TCP != nil:
+		if p.IP.Protocol != ProtoTCP {
+			return nil, fmt.Errorf("netpkt: protocol %v with TCP layer", p.IP.Protocol)
+		}
+		payload, err = p.TCP.marshal(p.IP.Src, p.IP.Dst)
+	case p.UDP != nil:
+		if p.IP.Protocol != ProtoUDP {
+			return nil, fmt.Errorf("netpkt: protocol %v with UDP layer", p.IP.Protocol)
+		}
+		payload, err = p.UDP.marshal(p.IP.Src, p.IP.Dst)
+	case p.ICMP != nil:
+		if p.IP.Protocol != ProtoICMP {
+			return nil, fmt.Errorf("netpkt: protocol %v with ICMP layer", p.IP.Protocol)
+		}
+		payload, err = p.ICMP.marshal()
+	default:
+		return nil, fmt.Errorf("netpkt: packet has no transport layer")
+	}
+	if err != nil {
+		return nil, err
+	}
+	total := ipv4HeaderLen + len(payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("netpkt: packet too large (%d bytes)", total)
+	}
+	b := make([]byte, total)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.IP.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[4:6], p.IP.ID)
+	if p.IP.DF {
+		b[6] = 0x40
+	}
+	b[8] = p.IP.TTL
+	b[9] = uint8(p.IP.Protocol)
+	src, dst := p.IP.Src.As4(), p.IP.Dst.As4()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dst[:])
+	binary.BigEndian.PutUint16(b[10:12], checksum(b[:ipv4HeaderLen]))
+	copy(b[ipv4HeaderLen:], payload)
+	return b, nil
+}
+
+// Parse decodes wire bytes produced by Marshal (or any optionless IPv4
+// packet) back into a Packet, verifying header checksums.
+func Parse(b []byte) (*Packet, error) {
+	if len(b) < ipv4HeaderLen {
+		return nil, fmt.Errorf("netpkt: short IPv4 header (%d bytes)", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("netpkt: not IPv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("netpkt: bad IHL %d", ihl)
+	}
+	if checksum(b[:ihl]) != 0 {
+		return nil, fmt.Errorf("netpkt: IPv4 header checksum mismatch")
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return nil, fmt.Errorf("netpkt: bad total length %d", total)
+	}
+	p := &Packet{IP: IPv4{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		DF:       b[6]&0x40 != 0,
+		TTL:      b[8],
+		Protocol: Protocol(b[9]),
+		Src:      netip.AddrFrom4([4]byte(b[12:16])),
+		Dst:      netip.AddrFrom4([4]byte(b[16:20])),
+	}}
+	payload := b[ihl:total]
+	var err error
+	switch p.IP.Protocol {
+	case ProtoTCP:
+		p.TCP, err = parseTCP(payload, p.IP.Src, p.IP.Dst)
+	case ProtoUDP:
+		p.UDP, err = parseUDP(payload, p.IP.Src, p.IP.Dst)
+	case ProtoICMP:
+		p.ICMP, err = parseICMP(payload)
+	default:
+		err = fmt.Errorf("netpkt: unsupported protocol %d", p.IP.Protocol)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// checksum computes the RFC 1071 Internet checksum of b.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the TCP/UDP pseudo-header partial sum.
+func pseudoHeaderSum(src, dst netip.Addr, proto Protocol, length int) uint32 {
+	var sum uint32
+	s, d := src.As4(), dst.As4()
+	sum += uint32(binary.BigEndian.Uint16(s[0:2])) + uint32(binary.BigEndian.Uint16(s[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(d[0:2])) + uint32(binary.BigEndian.Uint16(d[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// checksumWithPseudo folds a pseudo-header sum together with segment bytes.
+func checksumWithPseudo(pseudo uint32, b []byte) uint16 {
+	sum := pseudo
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,109 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// TCPFlags is the TCP flag bitfield.
+type TCPFlags uint8
+
+// TCP flag bits in header order.
+const (
+	FIN TCPFlags = 1 << 0
+	SYN TCPFlags = 1 << 1
+	RST TCPFlags = 1 << 2
+	PSH TCPFlags = 1 << 3
+	ACK TCPFlags = 1 << 4
+	URG TCPFlags = 1 << 5
+)
+
+// Has reports whether all bits in f are set.
+func (t TCPFlags) Has(f TCPFlags) bool { return t&f == f }
+
+func (t TCPFlags) String() string {
+	if t == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, f := range []struct {
+		bit  TCPFlags
+		name string
+	}{{SYN, "SYN"}, {ACK, "ACK"}, {FIN, "FIN"}, {RST, "RST"}, {PSH, "PSH"}, {URG, "URG"}} {
+		if t.Has(f.bit) {
+			parts = append(parts, f.name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// TCPSegment is a TCP header plus payload (no options).
+type TCPSegment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            TCPFlags
+	Window           uint16
+	Payload          []byte
+}
+
+const tcpHeaderLen = 20
+
+// SeqSpan returns how much sequence space the segment consumes (payload
+// length, plus one for SYN and one for FIN).
+func (t *TCPSegment) SeqSpan() uint32 {
+	n := uint32(len(t.Payload))
+	if t.Flags.Has(SYN) {
+		n++
+	}
+	if t.Flags.Has(FIN) {
+		n++
+	}
+	return n
+}
+
+func (t *TCPSegment) marshal(src, dst netip.Addr) ([]byte, error) {
+	b := make([]byte, tcpHeaderLen+len(t.Payload))
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = (tcpHeaderLen / 4) << 4
+	b[13] = uint8(t.Flags)
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	copy(b[tcpHeaderLen:], t.Payload)
+	binary.BigEndian.PutUint16(b[16:18], checksumWithPseudo(pseudoHeaderSum(src, dst, ProtoTCP, len(b)), b))
+	return b, nil
+}
+
+func parseTCP(b []byte, src, dst netip.Addr) (*TCPSegment, error) {
+	if len(b) < tcpHeaderLen {
+		return nil, fmt.Errorf("netpkt: short TCP header (%d bytes)", len(b))
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < tcpHeaderLen || dataOff > len(b) {
+		return nil, fmt.Errorf("netpkt: bad TCP data offset %d", dataOff)
+	}
+	if checksumWithPseudo(pseudoHeaderSum(src, dst, ProtoTCP, len(b)), b) != 0 {
+		return nil, fmt.Errorf("netpkt: TCP checksum mismatch")
+	}
+	return &TCPSegment{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   TCPFlags(b[13]),
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+		Payload: append([]byte(nil), b[dataOff:]...),
+	}, nil
+}
+
+// NewTCP builds a TCP packet, filling the IP protocol field. The default
+// TTL is 64, overridable by the caller afterwards.
+func NewTCP(src, dst netip.Addr, seg *TCPSegment) *Packet {
+	return &Packet{
+		IP:  IPv4{Src: src, Dst: dst, TTL: 64, Protocol: ProtoTCP},
+		TCP: seg,
+	}
+}

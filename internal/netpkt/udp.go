@@ -1,0 +1,61 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// UDPDatagram is a UDP header plus payload.
+type UDPDatagram struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+const udpHeaderLen = 8
+
+func (u *UDPDatagram) marshal(src, dst netip.Addr) ([]byte, error) {
+	n := udpHeaderLen + len(u.Payload)
+	if n > 0xffff {
+		return nil, fmt.Errorf("netpkt: UDP datagram too large (%d bytes)", n)
+	}
+	b := make([]byte, n)
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(n))
+	copy(b[udpHeaderLen:], u.Payload)
+	ck := checksumWithPseudo(pseudoHeaderSum(src, dst, ProtoUDP, n), b)
+	if ck == 0 {
+		ck = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(b[6:8], ck)
+	return b, nil
+}
+
+func parseUDP(b []byte, src, dst netip.Addr) (*UDPDatagram, error) {
+	if len(b) < udpHeaderLen {
+		return nil, fmt.Errorf("netpkt: short UDP header (%d bytes)", len(b))
+	}
+	n := int(binary.BigEndian.Uint16(b[4:6]))
+	if n < udpHeaderLen || n > len(b) {
+		return nil, fmt.Errorf("netpkt: bad UDP length %d", n)
+	}
+	if binary.BigEndian.Uint16(b[6:8]) != 0 {
+		if checksumWithPseudo(pseudoHeaderSum(src, dst, ProtoUDP, n), b[:n]) != 0 {
+			return nil, fmt.Errorf("netpkt: UDP checksum mismatch")
+		}
+	}
+	return &UDPDatagram{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Payload: append([]byte(nil), b[udpHeaderLen:n]...),
+	}, nil
+}
+
+// NewUDP builds a UDP packet with TTL 64.
+func NewUDP(src, dst netip.Addr, d *UDPDatagram) *Packet {
+	return &Packet{
+		IP:  IPv4{Src: src, Dst: dst, TTL: 64, Protocol: ProtoUDP},
+		UDP: d,
+	}
+}

@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/netpkt"
+	"repro/internal/sim"
+)
+
+// Direction of a captured packet relative to the capturing host.
+type Direction int
+
+// Capture directions.
+const (
+	DirOut Direction = iota
+	DirIn
+)
+
+func (d Direction) String() string {
+	if d == DirOut {
+		return ">"
+	}
+	return "<"
+}
+
+// Captured is one pcap-style capture record.
+type Captured struct {
+	At  sim.Time
+	Dir Direction
+	Pkt *netpkt.Packet
+}
+
+func (c Captured) String() string {
+	return fmt.Sprintf("%-12v %s %s", c.At, c.Dir, c.Pkt.Summary())
+}
+
+// IngressFilter decides whether an arriving packet is accepted (true) or
+// dropped before any protocol processing. It is the simulation's iptables
+// hook: the paper's client-side anti-censorship drops middlebox FIN/RST
+// packets here, working from raw wire bytes.
+type IngressFilter func(raw []byte, pkt *netpkt.Packet) bool
+
+// Host is an end system: it originates packets and dispatches arriving ones
+// to protocol handlers.
+type Host struct {
+	addr          netip.Addr
+	router        *Router
+	accessLatency time.Duration
+	net           *Network
+
+	tcpHandler  func(*netpkt.Packet)
+	udpHandlers map[uint16]func(*netpkt.Packet)
+	icmpHandler func(*netpkt.Packet)
+
+	filter IngressFilter
+
+	capturing bool
+	captures  []Captured
+}
+
+// AddHost attaches a host with address addr to router r.
+func (n *Network) AddHost(addr netip.Addr, r *Router, accessLatency time.Duration) *Host {
+	if _, dup := n.hosts[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate host %v", addr))
+	}
+	h := &Host{
+		addr:          addr,
+		router:        r,
+		accessLatency: accessLatency,
+		net:           n,
+		udpHandlers:   make(map[uint16]func(*netpkt.Packet)),
+	}
+	n.hosts[addr] = h
+	return h
+}
+
+// Addr returns the host's address.
+func (h *Host) Addr() netip.Addr { return h.addr }
+
+// Router returns the host's access router.
+func (h *Host) Router() *Router { return h.router }
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// Engine returns the simulation engine.
+func (h *Host) Engine() *sim.Engine { return h.net.eng }
+
+// Send transmits a packet from this host. The caller sets pkt.IP.Src
+// (normally the host's own address; raw probes may spoof).
+func (h *Host) Send(pkt *netpkt.Packet) { h.net.SendFromHost(h, pkt) }
+
+// SetTCPHandler registers the function receiving all TCP packets
+// (typically a tcpsim.Stack).
+func (h *Host) SetTCPHandler(fn func(*netpkt.Packet)) { h.tcpHandler = fn }
+
+// SetUDPHandler registers a handler for one UDP destination port.
+func (h *Host) SetUDPHandler(port uint16, fn func(*netpkt.Packet)) {
+	if fn == nil {
+		delete(h.udpHandlers, port)
+		return
+	}
+	h.udpHandlers[port] = fn
+}
+
+// SetICMPHandler registers the handler for arriving ICMP messages.
+func (h *Host) SetICMPHandler(fn func(*netpkt.Packet)) { h.icmpHandler = fn }
+
+// SetIngressFilter installs (or clears, with nil) the host's packet filter.
+func (h *Host) SetIngressFilter(f IngressFilter) { h.filter = f }
+
+// StartCapture begins recording all packets in and out of the host.
+func (h *Host) StartCapture() {
+	h.capturing = true
+	h.captures = nil
+}
+
+// StopCapture stops recording and returns the capture.
+func (h *Host) StopCapture() []Captured {
+	h.capturing = false
+	out := h.captures
+	h.captures = nil
+	return out
+}
+
+// Captures returns the capture so far without stopping.
+func (h *Host) Captures() []Captured { return h.captures }
+
+func (h *Host) capture(dir Direction, pkt *netpkt.Packet) {
+	if h.capturing {
+		h.captures = append(h.captures, Captured{At: h.net.eng.Now(), Dir: dir, Pkt: pkt.Clone()})
+	}
+}
+
+// deliver dispatches an arriving packet: filter, capture, then protocol
+// handler.
+func (h *Host) deliver(pkt *netpkt.Packet) {
+	if h.filter != nil {
+		raw, err := pkt.Marshal()
+		if err != nil {
+			raw = nil
+		}
+		if !h.filter(raw, pkt) {
+			return
+		}
+	}
+	h.capture(DirIn, pkt)
+	switch {
+	case pkt.TCP != nil:
+		if h.tcpHandler != nil {
+			h.tcpHandler(pkt)
+		}
+	case pkt.UDP != nil:
+		if fn, ok := h.udpHandlers[pkt.UDP.DstPort]; ok {
+			fn(pkt)
+		}
+		// No ICMP port-unreachable for unhandled UDP: scanned dead ports
+		// simply time out, as the paper's resolver scans assume.
+	case pkt.ICMP != nil:
+		if h.icmpHandler != nil {
+			h.icmpHandler(pkt)
+		}
+	}
+}

@@ -1,0 +1,492 @@
+// Package netsim simulates a router-level Internet: routers joined by
+// latency-bearing links, hosts attached to routers, static shortest-path
+// routing, per-hop TTL decrement with ICMP Time Exceeded generation, and
+// attachment points for on-path network elements (inline boxes that may
+// consume packets, and taps that receive copies) — the two ways the paper's
+// interceptive and wiretap middleboxes sit in ISP networks.
+//
+// The simulation is deterministic: all delivery is scheduled on a sim.Engine
+// and forwarding paths are canonical (the path used from A to B is always
+// the exact reverse of the path used from B to A), which mirrors the
+// symmetric intra-AS routing the paper's traceroute methodology relies on.
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/netpkt"
+	"repro/internal/sim"
+)
+
+// Tap receives a copy of every packet crossing the router it is attached
+// to. Wiretap middleboxes implement Tap.
+type Tap interface {
+	Observe(pkt *netpkt.Packet, at *Router)
+}
+
+// Inline sees every packet crossing its router before forwarding and may
+// consume it (returning true), in which case the packet travels no further.
+// Interceptive middleboxes implement Inline.
+type Inline interface {
+	Process(pkt *netpkt.Packet, at *Router) bool
+}
+
+// Router is one router-level hop.
+type Router struct {
+	ID   int
+	Name string
+	ASN  int
+	Addr netip.Addr
+	// Anonymized routers do not emit ICMP Time Exceeded; they show up as
+	// asterisks in traceroute, exactly how the paper says middlebox-
+	// hosting routers behave in all tested ISPs (§6.1).
+	Anonymized bool
+
+	taps   []Tap
+	inline []Inline
+	policy func(dst netip.Addr) (*Router, bool)
+	net    *Network
+}
+
+// SetPolicy installs a policy-routing hook consulted before the global
+// shortest-path table: returning (next, true) forwards the packet to next
+// (which must be directly linked). This is the simulation's stand-in for
+// BGP policy — customer ISPs steering destinations through a chosen
+// transit provider, and providers steering return traffic symmetrically so
+// their on-path boxes see both directions of transiting flows.
+func (r *Router) SetPolicy(fn func(dst netip.Addr) (*Router, bool)) { r.policy = fn }
+
+// AttachTap attaches a wiretap to the router.
+func (r *Router) AttachTap(t Tap) { r.taps = append(r.taps, t) }
+
+// AttachInline attaches an inline element to the router.
+func (r *Router) AttachInline(i Inline) { r.inline = append(r.inline, i) }
+
+// Network returns the network the router belongs to.
+func (r *Router) Network() *Network { return r.net }
+
+// edge is one directed adjacency.
+type edge struct {
+	to      int
+	latency time.Duration
+}
+
+// prefixEntry homes an advertised prefix at a router.
+type prefixEntry struct {
+	prefix netip.Prefix
+	router *Router
+	asn    int
+}
+
+// Network owns the topology and schedules all packet movement.
+type Network struct {
+	eng     *sim.Engine
+	routers []*Router
+	adj     [][]edge
+	hosts   map[netip.Addr]*Host
+
+	prefixes []prefixEntry
+
+	// dist[a*R+b] is the hop distance between routers (-1 disconnected).
+	dist []int16
+	// nextHop[v*R+d] is the fallback tree: the lowest-ID neighbor of v one
+	// hop closer to d. Used for packets that have left their canonical
+	// path (policy detours, spoofed sources, router-originated ICMP).
+	nextHop []int32
+	// pairPath[a*R+b] (a<b) is the canonical router path between a and b,
+	// inclusive. Both directions of a flow follow this same path, so
+	// on-path middleboxes observe complete conversations, matching the
+	// symmetric intra-AS routing the paper's methodology relies on.
+	pairPath [][]int32
+	built    bool
+
+	// Drops counts packets dropped for having no route or no receiving
+	// host; useful for experiment sanity checks.
+	Drops uint64
+}
+
+// New creates an empty network on the given engine.
+func New(eng *sim.Engine) *Network {
+	return &Network{eng: eng, hosts: make(map[netip.Addr]*Host)}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AddRouter creates a router. addr is the router's interface address used
+// as the source of ICMP errors it generates.
+func (n *Network) AddRouter(name string, asn int, addr netip.Addr) *Router {
+	r := &Router{ID: len(n.routers), Name: name, ASN: asn, Addr: addr, net: n}
+	n.routers = append(n.routers, r)
+	n.adj = append(n.adj, nil)
+	n.built = false
+	return r
+}
+
+// Routers returns all routers in creation order.
+func (n *Network) Routers() []*Router { return n.routers }
+
+// Link joins two routers bidirectionally with the given one-way latency.
+func (n *Network) Link(a, b *Router, latency time.Duration) {
+	if a.net != n || b.net != n {
+		panic("netsim: linking routers from a different network")
+	}
+	n.adj[a.ID] = append(n.adj[a.ID], edge{to: b.ID, latency: latency})
+	n.adj[b.ID] = append(n.adj[b.ID], edge{to: a.ID, latency: latency})
+	n.built = false
+}
+
+// ClaimPrefix homes an advertised prefix at a router. Packets to addresses
+// within the prefix that have no registered host are routed to the router
+// and dropped there (a dead IP). Prefix claims also drive the AS lookup
+// used by the probe's "resolved IP in client AS" heuristic.
+func (n *Network) ClaimPrefix(p netip.Prefix, r *Router) {
+	n.prefixes = append(n.prefixes, prefixEntry{prefix: p, router: r, asn: r.ASN})
+}
+
+// Prefixes returns all advertised prefixes with their origin ASN, the
+// simulation's analogue of the public CIDR report the paper used to find
+// target prefixes per ISP.
+func (n *Network) Prefixes() []PrefixInfo {
+	out := make([]PrefixInfo, len(n.prefixes))
+	for i, pe := range n.prefixes {
+		out[i] = PrefixInfo{Prefix: pe.prefix, ASN: pe.asn}
+	}
+	return out
+}
+
+// PrefixInfo is one advertised route.
+type PrefixInfo struct {
+	Prefix netip.Prefix
+	ASN    int
+}
+
+// ASNOf returns the origin ASN advertising addr, or 0 if unrouted.
+func (n *Network) ASNOf(addr netip.Addr) int {
+	if h, ok := n.hosts[addr]; ok {
+		return h.router.ASN
+	}
+	for _, pe := range n.prefixes {
+		if pe.prefix.Contains(addr) {
+			return pe.asn
+		}
+	}
+	return 0
+}
+
+// homeRouter finds the router a destination address lives behind.
+func (n *Network) homeRouter(addr netip.Addr) *Router {
+	if h, ok := n.hosts[addr]; ok {
+		return h.router
+	}
+	for _, pe := range n.prefixes {
+		if pe.prefix.Contains(addr) {
+			return pe.router
+		}
+	}
+	return nil
+}
+
+// Host returns the host registered at addr, if any.
+func (n *Network) Host(addr netip.Addr) (*Host, bool) {
+	h, ok := n.hosts[addr]
+	return h, ok
+}
+
+// Build computes routing tables. It must be called after topology changes
+// and before traffic is sent. Paths are canonical per unordered router
+// pair: the route B->A is the exact reverse of A->B, so on-path elements
+// see both directions of every flow they intercept.
+func (n *Network) Build() {
+	R := len(n.routers)
+	// Sort adjacency for deterministic iteration.
+	for i := range n.adj {
+		sort.Slice(n.adj[i], func(a, b int) bool { return n.adj[i][a].to < n.adj[i][b].to })
+	}
+	// All-pairs hop distances by BFS from every router.
+	n.dist = make([]int16, R*R)
+	for i := range n.dist {
+		n.dist[i] = -1
+	}
+	queue := make([]int32, 0, R)
+	for s := 0; s < R; s++ {
+		n.dist[s*R+s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			du := n.dist[s*R+int(u)]
+			for _, e := range n.adj[u] {
+				if n.dist[s*R+e.to] == -1 {
+					n.dist[s*R+e.to] = du + 1
+					queue = append(queue, int32(e.to))
+				}
+			}
+		}
+	}
+	// Fallback tree: lowest-ID neighbor one hop closer to each destination.
+	n.nextHop = make([]int32, R*R)
+	for v := 0; v < R; v++ {
+		for d := 0; d < R; d++ {
+			n.nextHop[v*R+d] = -1
+			dv := n.dist[d*R+v]
+			if v == d || dv <= 0 {
+				continue
+			}
+			for _, e := range n.adj[v] { // sorted: first match is lowest ID
+				if n.dist[d*R+e.to] == dv-1 {
+					n.nextHop[v*R+d] = int32(e.to)
+					break
+				}
+			}
+		}
+	}
+	// Canonical per-pair paths: for a<b the lexicographically smallest
+	// shortest path walked greedily from a; both directions use it.
+	n.pairPath = make([][]int32, R*R)
+	for a := 0; a < R; a++ {
+		for b := a + 1; b < R; b++ {
+			if n.dist[a*R+b] < 0 {
+				continue
+			}
+			d := int(n.dist[a*R+b])
+			path := make([]int32, 0, d+1)
+			cur := int32(a)
+			path = append(path, cur)
+			for cur != int32(b) {
+				dc := n.dist[b*R+int(cur)]
+				for _, e := range n.adj[cur] {
+					if n.dist[b*R+e.to] == dc-1 {
+						cur = int32(e.to)
+						break
+					}
+				}
+				path = append(path, cur)
+			}
+			n.pairPath[a*R+b] = path
+		}
+	}
+	n.built = true
+}
+
+// pairPathFor returns the canonical path from a to b (oriented a->b).
+func (n *Network) pairPathFor(a, b int) []int32 {
+	R := len(n.routers)
+	if a == b {
+		return nil
+	}
+	if a < b {
+		return n.pairPath[a*R+b]
+	}
+	fwd := n.pairPath[b*R+a]
+	if fwd == nil {
+		return nil
+	}
+	rev := make([]int32, len(fwd))
+	for i, v := range fwd {
+		rev[len(fwd)-1-i] = v
+	}
+	return rev
+}
+
+// nextToward picks the next hop at router cur for a packet whose source
+// homes at srcHome (may be nil) and whose destination homes at dstHome:
+// the canonical pair path when cur is on it, else the fallback tree.
+func (n *Network) nextToward(cur *Router, srcHome, dstHome *Router) *Router {
+	R := len(n.routers)
+	if srcHome != nil && srcHome != dstHome {
+		lo, hi := srcHome.ID, dstHome.ID
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if path := n.pairPath[lo*R+hi]; path != nil {
+			towardEnd := path[len(path)-1] == int32(dstHome.ID)
+			for i, v := range path {
+				if v != int32(cur.ID) {
+					continue
+				}
+				if towardEnd && i+1 < len(path) {
+					return n.routers[path[i+1]]
+				}
+				if !towardEnd && i > 0 {
+					return n.routers[path[i-1]]
+				}
+				break
+			}
+		}
+	}
+	nh := n.nextHop[cur.ID*R+dstHome.ID]
+	if nh < 0 {
+		return nil
+	}
+	return n.routers[nh]
+}
+
+// PathRouters returns the canonical router path between two routers,
+// inclusive of both endpoints, or nil if disconnected.
+func (n *Network) PathRouters(a, b *Router) []*Router {
+	if !n.built {
+		panic("netsim: Build not called")
+	}
+	ids := n.pairPathFor(a.ID, b.ID)
+	if ids == nil {
+		return nil
+	}
+	path := make([]*Router, len(ids))
+	for i, v := range ids {
+		path[i] = n.routers[v]
+	}
+	return path
+}
+
+// linkLatency returns the latency of the direct link a->b.
+func (n *Network) linkLatency(a, b int) time.Duration {
+	for _, e := range n.adj[a] {
+		if e.to == b {
+			return e.latency
+		}
+	}
+	return time.Millisecond
+}
+
+// SendFromHost injects a packet originating at host h.
+func (n *Network) SendFromHost(h *Host, pkt *netpkt.Packet) {
+	if !n.built {
+		panic("netsim: Build not called")
+	}
+	h.capture(DirOut, pkt)
+	n.eng.Schedule(h.accessLatency, func() { n.arriveAtRouter(h.router, pkt) })
+}
+
+// InjectAt routes a packet into the network as if generated at router r
+// (used by middleboxes for forged responses). The packet is not inspected
+// by r's own taps or inline elements and r does not decrement its TTL.
+func (n *Network) InjectAt(r *Router, pkt *netpkt.Packet) {
+	if !n.built {
+		panic("netsim: Build not called")
+	}
+	n.forwardFrom(r, pkt)
+}
+
+// arriveAtRouter is the per-hop pipeline: taps, inline elements, TTL
+// decrement (with ICMP Time Exceeded), then forwarding or local delivery.
+// Inline inspection happens before TTL handling: an interceptive box grabs
+// a matching packet even when its TTL would expire at that hop, which is
+// why the paper's iterative tracer sees censorship notifications instead of
+// ICMP once the probe TTL reaches the middlebox hop.
+func (n *Network) arriveAtRouter(r *Router, pkt *netpkt.Packet) {
+	for _, t := range r.taps {
+		t.Observe(pkt, r)
+	}
+	for _, i := range r.inline {
+		if i.Process(pkt, r) {
+			return
+		}
+	}
+	if pkt.IP.TTL <= 1 {
+		pkt.IP.TTL = 0
+		if !r.Anonymized {
+			n.forwardFrom(r, netpkt.NewTimeExceeded(r.Addr, pkt))
+		}
+		return
+	}
+	pkt.IP.TTL--
+	n.forwardFrom(r, pkt)
+}
+
+// forwardFrom moves a packet one step from router r: local delivery if the
+// destination host hangs off r, otherwise on to the next hop.
+func (n *Network) forwardFrom(r *Router, pkt *netpkt.Packet) {
+	dst := pkt.IP.Dst
+	if h, ok := n.hosts[dst]; ok && h.router == r {
+		n.eng.Schedule(h.accessLatency, func() { h.deliver(pkt) })
+		return
+	}
+	if r.policy != nil {
+		if next, ok := r.policy(dst); ok {
+			n.eng.Schedule(n.linkLatency(r.ID, next.ID), func() { n.arriveAtRouter(next, pkt) })
+			return
+		}
+	}
+	home := n.homeRouter(dst)
+	if home == nil {
+		n.Drops++
+		return
+	}
+	if home == r {
+		// Dead address inside a claimed prefix: silently dropped, like a
+		// non-responding IP in a scanned ISP prefix.
+		n.Drops++
+		return
+	}
+	next := n.nextToward(r, n.homeRouter(pkt.IP.Src), home)
+	if next == nil {
+		n.Drops++
+		return
+	}
+	n.eng.Schedule(n.linkLatency(r.ID, next.ID), func() { n.arriveAtRouter(next, pkt) })
+}
+
+// PathBetweenHosts returns the router path a packet from host a to host b
+// actually takes, honouring per-router policy routing. Nil if unroutable.
+func (n *Network) PathBetweenHosts(a, b *Host) []*Router {
+	return n.pathFrom(a.router, b.addr)
+}
+
+// PathHostToAddr returns the router path a packet from host a to an
+// arbitrary destination address takes (the address need not have a live
+// host — dead IPs inside claimed prefixes route to their home router).
+func (n *Network) PathHostToAddr(a *Host, dst netip.Addr) []*Router {
+	return n.pathFrom(a.router, dst)
+}
+
+func (n *Network) pathFrom(start *Router, dstAddr netip.Addr) []*Router {
+	if !n.built {
+		panic("netsim: Build not called")
+	}
+	home := n.homeRouter(dstAddr)
+	if home == nil {
+		return nil
+	}
+	cur := start
+	path := []*Router{cur}
+	for cur != home {
+		var next *Router
+		if cur.policy != nil {
+			if nh, ok := cur.policy(dstAddr); ok {
+				next = nh
+			}
+		}
+		if next == nil {
+			next = n.nextToward(cur, start, home)
+			if next == nil {
+				return nil
+			}
+		}
+		cur = next
+		path = append(path, cur)
+		if len(path) > len(n.routers) {
+			panic("netsim: policy routing loop")
+		}
+	}
+	return path
+}
+
+// HopsBetween returns the paper's hop count n between two hosts: the number
+// of routers on the path plus one (the destination host). A traceroute
+// probe with TTL n-1 dies at the last router; TTL n reaches the host.
+func (n *Network) HopsBetween(a, b *Host) int {
+	p := n.PathBetweenHosts(a, b)
+	if p == nil {
+		return 0
+	}
+	return len(p) + 1
+}
+
+func (n *Network) String() string {
+	return fmt.Sprintf("netsim.Network{routers=%d hosts=%d prefixes=%d}",
+		len(n.routers), len(n.hosts), len(n.prefixes))
+}

@@ -1,0 +1,266 @@
+// Package ooni replicates OONI's web_connectivity test with the published
+// comparison rules the paper dissects in §6.2, so that Table 1 — OONI's
+// precision and recall per ISP — can be reproduced and explained:
+//
+//   - DNS consistency compares client-resolver answers against the control
+//     (Google) resolver; CDN-steered sites that legitimately resolve
+//     differently per region become false positives.
+//   - HTTP blocking requires ALL of: body-length proportion below 0.7,
+//     response header *names* differing, and titles differing (titles are
+//     compared only when both contain a word of five or more characters).
+//     Censorship notifications that mimic a typical server's header names
+//     and carry no title therefore pass as "consistent" — false negatives.
+//   - A fetch failure (reset/timeout) while the control succeeds is
+//     flagged as http-failure.
+package ooni
+
+import (
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/httpwire"
+	"repro/internal/ispnet"
+	"repro/internal/probe"
+)
+
+// Blocking is OONI's verdict for one measurement.
+type Blocking string
+
+// Verdicts mirroring web_connectivity's blocking values.
+const (
+	BlockingNone        Blocking = ""
+	BlockingDNS         Blocking = "dns"
+	BlockingTCP         Blocking = "tcp_ip"
+	BlockingHTTPDiff    Blocking = "http-diff"
+	BlockingHTTPFailure Blocking = "http-failure"
+)
+
+// Measurement is one web_connectivity result.
+type Measurement struct {
+	Domain     string
+	Verdict    Blocking
+	Accessible bool
+
+	DNSConsistent bool
+	TCPSucceeded  bool
+	BodyPropOK    bool
+	HeadersMatch  bool
+	TitleMatch    bool
+	TitleCompared bool
+}
+
+// Runner executes web_connectivity from an ISP client against the control
+// vantage.
+type Runner struct {
+	World   *ispnet.World
+	ISP     *ispnet.ISP
+	Timeout time.Duration
+}
+
+// NewRunner builds a runner for one ISP.
+func NewRunner(w *ispnet.World, isp *ispnet.ISP) *Runner {
+	return &Runner{World: w, ISP: isp, Timeout: 3 * time.Second}
+}
+
+// bodyProportion is OONI's min/max body length ratio with 0.7 threshold.
+func bodyProportion(a, b int) bool {
+	if a == 0 && b == 0 {
+		return true
+	}
+	if a == 0 || b == 0 {
+		return false
+	}
+	min, max := a, b
+	if min > max {
+		min, max = max, min
+	}
+	return float64(min)/float64(max) > 0.7
+}
+
+// headerNamesMatch compares response header name sets, case-insensitively,
+// ignoring order — OONI compares names, not values.
+func headerNamesMatch(a, b *httpwire.Response) bool {
+	set := func(r *httpwire.Response) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range r.HeaderNames() {
+			m[strings.ToLower(n)] = true
+		}
+		return m
+	}
+	sa, sb := set(a), set(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k := range sa {
+		if !sb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// longWord reports whether the title has a word of five or more
+// characters — OONI's precondition for comparing titles at all.
+func longWord(title string) bool {
+	for _, w := range strings.Fields(title) {
+		if len(w) >= 5 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run measures one domain.
+func (r *Runner) Run(domain string) Measurement {
+	m := Measurement{Domain: domain}
+
+	// Control measurement: resolve via the public resolver, fetch from
+	// the control host.
+	ctrlAddrs, _, err := r.World.Control.DNS.ResolveA(r.World.GoogleDNS, domain, r.Timeout)
+	ctrlOK := err == nil && len(ctrlAddrs) > 0
+	var ctrlFetch *probe.FetchResult
+	if ctrlOK {
+		ctrlFetch = probe.GetFrom(r.World.Control, ctrlAddrs[0], domain, nil, r.Timeout)
+	}
+
+	// Experiment: resolve via the ISP's default resolver, fetch directly.
+	expAddrs, _, err := r.ISP.Client.DNS.ResolveA(r.ISP.DefaultResolver, domain, r.Timeout)
+	expOK := err == nil && len(expAddrs) > 0
+
+	// DNS consistency: answer overlap, or matching origin AS.
+	m.DNSConsistent = true
+	if ctrlOK && expOK {
+		m.DNSConsistent = r.dnsConsistent(expAddrs, ctrlAddrs)
+	}
+	if !m.DNSConsistent {
+		m.Verdict = BlockingDNS
+		return m
+	}
+	if !expOK {
+		if ctrlOK {
+			m.Verdict = BlockingDNS
+		}
+		return m
+	}
+
+	// TCP connect.
+	conn := r.ISP.Client.TCP.Connect(expAddrs[0], 80)
+	if err := conn.WaitEstablished(r.Timeout); err != nil {
+		if ctrlFetch != nil && ctrlFetch.Connected {
+			m.Verdict = BlockingTCP
+		}
+		return m
+	}
+	m.TCPSucceeded = true
+	conn.Abort()
+
+	// HTTP comparison.
+	expFetch := probe.GetFrom(r.ISP.Client, expAddrs[0], domain, nil, r.Timeout)
+	if ctrlFetch == nil || len(ctrlFetch.Responses) == 0 {
+		return m // no control baseline; OONI reports anomaly=false
+	}
+	if len(expFetch.Responses) == 0 {
+		m.Verdict = BlockingHTTPFailure
+		return m
+	}
+	ctrlResp, expResp := ctrlFetch.Responses[0], expFetch.Responses[0]
+	m.BodyPropOK = bodyProportion(len(expResp.Body), len(ctrlResp.Body))
+	m.HeadersMatch = headerNamesMatch(expResp, ctrlResp)
+	expTitle, ctrlTitle := httpwire.Title(expResp.Body), httpwire.Title(ctrlResp.Body)
+	m.TitleCompared = longWord(expTitle) && longWord(ctrlTitle)
+	if m.TitleCompared {
+		m.TitleMatch = strings.EqualFold(expTitle, ctrlTitle)
+	}
+	// Blocked only when every compared condition indicates difference —
+	// a single "consistent" signal clears the site (§6.2).
+	titleDiffers := m.TitleCompared && !m.TitleMatch || !m.TitleCompared
+	if !m.BodyPropOK && !m.HeadersMatch && titleDiffers {
+		m.Verdict = BlockingHTTPDiff
+		return m
+	}
+	m.Accessible = true
+	return m
+}
+
+// dnsConsistent applies OONI's answer comparison: any shared address, or
+// any shared origin ASN.
+func (r *Runner) dnsConsistent(exp, ctrl []netip.Addr) bool {
+	ctrlSet := map[netip.Addr]bool{}
+	ctrlASNs := map[int]bool{}
+	for _, a := range ctrl {
+		ctrlSet[a] = true
+		if asn := r.World.Net.ASNOf(a); asn != 0 {
+			ctrlASNs[asn] = true
+		}
+	}
+	for _, a := range exp {
+		if ctrlSet[a] {
+			return true
+		}
+		if asn := r.World.Net.ASNOf(a); asn != 0 && ctrlASNs[asn] {
+			return true
+		}
+	}
+	return false
+}
+
+// Report aggregates a full PBW run.
+type Report struct {
+	ISP string
+	// Flagged maps each mechanism to the set of domains OONI flagged.
+	FlaggedDNS, FlaggedTCP, FlaggedHTTP, FlaggedAny map[string]bool
+	Measurements                                    []Measurement
+}
+
+// RunAll measures every domain and buckets the flags.
+func (r *Runner) RunAll(domains []string) *Report {
+	rep := &Report{
+		ISP:        r.ISP.Name,
+		FlaggedDNS: map[string]bool{}, FlaggedTCP: map[string]bool{},
+		FlaggedHTTP: map[string]bool{}, FlaggedAny: map[string]bool{},
+	}
+	for _, d := range domains {
+		m := r.Run(d)
+		rep.Measurements = append(rep.Measurements, m)
+		switch m.Verdict {
+		case BlockingDNS:
+			rep.FlaggedDNS[d] = true
+		case BlockingTCP:
+			rep.FlaggedTCP[d] = true
+		case BlockingHTTPDiff, BlockingHTTPFailure:
+			rep.FlaggedHTTP[d] = true
+		}
+		if m.Verdict != BlockingNone {
+			rep.FlaggedAny[d] = true
+		}
+	}
+	return rep
+}
+
+// Accuracy is one Table 1 cell.
+type Accuracy struct {
+	Precision, Recall float64
+	TruePositives     int
+	Flagged, Truth    int
+}
+
+// Evaluate computes the Table 1 row for this report against ground truth
+// sets (from the oracle, standing in for the authors' manual checks).
+func Evaluate(rep *Report, truthDNS, truthHTTP map[string]bool) (total, dns, tcp, http Accuracy) {
+	truthAny := map[string]bool{}
+	for d := range truthDNS {
+		truthAny[d] = true
+	}
+	for d := range truthHTTP {
+		truthAny[d] = true
+	}
+	eval := func(flagged, truth map[string]bool) Accuracy {
+		p, r, tp := probe.PrecisionRecall(flagged, truth)
+		return Accuracy{Precision: p, Recall: r, TruePositives: tp, Flagged: len(flagged), Truth: len(truth)}
+	}
+	return eval(rep.FlaggedAny, truthAny),
+		eval(rep.FlaggedDNS, truthDNS),
+		eval(rep.FlaggedTCP, map[string]bool{}),
+		eval(rep.FlaggedHTTP, truthHTTP)
+}

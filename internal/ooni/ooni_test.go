@@ -1,0 +1,193 @@
+package ooni
+
+import (
+	"testing"
+
+	"repro/internal/httpwire"
+	"repro/internal/ispnet"
+	"repro/internal/websim"
+)
+
+var sharedWorld *ispnet.World
+
+func world(t testing.TB) *ispnet.World {
+	t.Helper()
+	if sharedWorld == nil {
+		sharedWorld = ispnet.NewWorld(ispnet.SmallConfig())
+	}
+	return sharedWorld
+}
+
+func TestBodyProportion(t *testing.T) {
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{100, 100, true}, {80, 100, true}, {60, 100, false},
+		{0, 0, true}, {0, 100, false}, {100, 71, true},
+	}
+	for _, c := range cases {
+		if got := bodyProportion(c.a, c.b); got != c.want {
+			t.Errorf("bodyProportion(%d,%d) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestHeaderNamesMatch(t *testing.T) {
+	a := httpwire.NewResponse(200, "OK", nil).AddHeader("Content-Type", "text/html").AddHeader("Server", "x")
+	b := httpwire.NewResponse(200, "OK", nil).AddHeader("server", "y").AddHeader("content-type", "z")
+	if !headerNamesMatch(a, b) {
+		t.Error("case-insensitive name sets should match")
+	}
+	c := httpwire.NewResponse(200, "OK", nil).AddHeader("Content-Type", "text/html").AddHeader("Via", "1.1")
+	if headerNamesMatch(a, c) {
+		t.Error("different name sets should not match")
+	}
+}
+
+func TestLongWord(t *testing.T) {
+	if !longWord("My Wonderful Site") || longWord("a to be") || longWord("") {
+		t.Error("longWord misbehaves")
+	}
+}
+
+func TestCleanSiteAccessible(t *testing.T) {
+	w := world(t)
+	idea := w.ISP("Idea")
+	r := NewRunner(w, idea)
+	for _, s := range w.Catalog.PBW {
+		if s.Kind != websim.KindNormal {
+			continue
+		}
+		if tr := w.TruthFor(idea, s.Domain); tr.Blocked() {
+			continue
+		}
+		m := r.Run(s.Domain)
+		if m.Verdict != BlockingNone {
+			t.Errorf("clean normal site %s flagged %q", s.Domain, m.Verdict)
+		}
+		break
+	}
+}
+
+// OONI's documented false-positive on region-dependent parked domains: the
+// body, headers and title all differ between control and experiment even
+// though nothing is censored.
+func TestParkedSiteFalsePositive(t *testing.T) {
+	w := world(t)
+	idea := w.ISP("Idea")
+	r := NewRunner(w, idea)
+	fps := 0
+	for _, s := range w.Catalog.PBW {
+		if s.Kind != websim.KindDead {
+			continue
+		}
+		if tr := w.TruthFor(idea, s.Domain); tr.Blocked() {
+			continue
+		}
+		if m := r.Run(s.Domain); m.Verdict == BlockingHTTPDiff {
+			fps++
+		}
+	}
+	if fps == 0 {
+		t.Error("expected OONI false positives on parked domains")
+	}
+}
+
+// OONI's documented false-negative: a wiretap notification that mimics the
+// origin's header names and carries no title is judged consistent.
+func TestWMNotificationFalseNegative(t *testing.T) {
+	w := world(t)
+	airtel := w.ISP("Airtel")
+	r := NewRunner(w, airtel)
+	_, httpTruth := w.TruthSet(airtel)
+	fns := 0
+	checked := 0
+	for d := range httpTruth {
+		s, _ := w.Catalog.Site(d)
+		if s == nil || s.Kind != websim.KindNormal {
+			continue
+		}
+		if checked >= 8 {
+			break
+		}
+		checked++
+		if m := r.Run(d); m.Verdict == BlockingNone {
+			fns++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no blocked normal sites")
+	}
+	if fns == 0 {
+		t.Errorf("expected false negatives from header mimicry (checked %d)", checked)
+	}
+}
+
+// Vodafone's covert RST yields http-failure — a true positive — so its
+// recall lands much higher than the wiretap ISPs', as in Table 1.
+func TestCovertResetDetected(t *testing.T) {
+	w := world(t)
+	vod := w.ISP("Vodafone")
+	r := NewRunner(w, vod)
+	_, httpTruth := w.TruthSet(vod)
+	detected := 0
+	checked := 0
+	for d := range httpTruth {
+		if checked >= 5 {
+			break
+		}
+		checked++
+		if m := r.Run(d); m.Verdict == BlockingHTTPFailure {
+			detected++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no blocked sites on Vodafone client paths")
+	}
+	if detected == 0 {
+		t.Error("covert resets never detected as http-failure")
+	}
+}
+
+func TestDNSFlaggingMTNL(t *testing.T) {
+	w := world(t)
+	mtnl := w.ISP("MTNL")
+	r := NewRunner(w, mtnl)
+	var victim string
+	for _, d := range mtnl.DNSList {
+		if mtnl.Resolvers[0].PoisonsDomain(d) {
+			victim = d
+			break
+		}
+	}
+	m := r.Run(victim)
+	if m.Verdict != BlockingDNS {
+		t.Errorf("poisoned domain verdict = %q, want dns", m.Verdict)
+	}
+}
+
+func TestEvaluatePrecisionRecall(t *testing.T) {
+	rep := &Report{
+		FlaggedDNS:  map[string]bool{"a": true, "b": true},
+		FlaggedTCP:  map[string]bool{},
+		FlaggedHTTP: map[string]bool{"c": true},
+		FlaggedAny:  map[string]bool{"a": true, "b": true, "c": true},
+	}
+	truthDNS := map[string]bool{"a": true, "x": true}
+	truthHTTP := map[string]bool{"c": true}
+	total, dns, tcp, http := Evaluate(rep, truthDNS, truthHTTP)
+	if dns.Precision != 0.5 || dns.Recall != 0.5 {
+		t.Errorf("dns = %+v", dns)
+	}
+	if http.Precision != 1 || http.Recall != 1 {
+		t.Errorf("http = %+v", http)
+	}
+	if tcp.Precision != 0 || tcp.Recall != 0 {
+		t.Errorf("tcp = %+v", tcp)
+	}
+	// truthAny = {a,x,c}; flaggedAny = {a,b,c}: TPs are a and c.
+	if total.TruePositives != 2 || total.Truth != 3 || total.Flagged != 3 {
+		t.Errorf("total = %+v", total)
+	}
+}

@@ -1,0 +1,121 @@
+package probe
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// CollateralResult reproduces one Table 3 row: censorship observed inside
+// a non-censoring ISP, attributed to the neighbouring ISPs whose
+// middleboxes caused it.
+type CollateralResult struct {
+	ISP string
+	// ByNeighbor counts blocked sites per attributed neighbour AS.
+	ByNeighbor map[string]int
+	// Attribution maps each blocked domain to the neighbour (or
+	// "unattributed").
+	Attribution map[string]string
+	// Neighbors lists attributed neighbours sorted by descending count.
+	Neighbors []string
+}
+
+// MeasureCollateral sweeps the PBW list from a (supposedly clean) ISP's
+// client, and attributes every censorship event to a neighbouring ISP
+// using the §6.1 heuristics: notification-content signatures where the
+// censor is overt, and — for covert resets — the AS of the visible
+// traceroute hops around the anonymized injecting hop.
+func (p *Probe) MeasureCollateral(domains []string) *CollateralResult {
+	res := &CollateralResult{
+		ISP:         p.ISP.Name,
+		ByNeighbor:  make(map[string]int),
+		Attribution: make(map[string]string),
+	}
+	for _, d := range domains {
+		// Resolve via the uncensored path: in MTNL/BSNL the default
+		// resolver is itself poisoned, and this sweep measures the HTTP
+		// path. Up to four fetches per domain: wiretap boxes lose ~30% of
+		// races, and the paper's data came from long-term repetition.
+		addrs, err := p.ResolveViaTor(d)
+		if err != nil {
+			continue
+		}
+		var fr *FetchResult
+		censored := false
+		for attempt := 0; attempt < 4 && !censored; attempt++ {
+			fr = p.FetchDirectAt(d, addrs[0])
+			censored = fr.Notification || (fr.Connected && fr.Reset && len(fr.Responses) == 0) ||
+				(fr.Connected && len(fr.Responses) == 0 && !fr.PeerClosed) // blackholed
+		}
+		if fr == nil || !censored {
+			continue
+		}
+		neighbor := fr.SignatureISP
+		if neighbor == "" {
+			// Covert censor: locate the anonymized injecting hop and read
+			// the AS of its visible neighbours.
+			neighbor = p.attributeCovert(d)
+		}
+		if neighbor == "" {
+			neighbor = "unattributed"
+		}
+		if neighbor == p.ISP.Name {
+			// Own infrastructure, not collateral (does not happen for the
+			// paper's clean ISPs; kept for robustness).
+			continue
+		}
+		res.Attribution[d] = neighbor
+		res.ByNeighbor[neighbor]++
+	}
+	for n := range res.ByNeighbor {
+		res.Neighbors = append(res.Neighbors, n)
+	}
+	sort.Slice(res.Neighbors, func(i, j int) bool {
+		if res.ByNeighbor[res.Neighbors[i]] != res.ByNeighbor[res.Neighbors[j]] {
+			return res.ByNeighbor[res.Neighbors[i]] > res.ByNeighbor[res.Neighbors[j]]
+		}
+		return res.Neighbors[i] < res.Neighbors[j]
+	})
+	return res
+}
+
+// attributeCovert traces toward the censored domain and attributes the
+// anonymized censoring hop to an AS via the nearest visible hops.
+func (p *Probe) attributeCovert(domain string) string {
+	addrs, err := p.ResolveViaTor(domain)
+	if err != nil {
+		return ""
+	}
+	tr := IterativeTraceHTTP(p.ISP.Client, addrs[0], domain, p.Timeout)
+	if tr.SignatureISP != "" {
+		return tr.SignatureISP
+	}
+	if tr.CensorHop == 0 {
+		return ""
+	}
+	// Look outward from the censor hop for the first visible router and
+	// name its AS (heuristic 2 of §6.1).
+	for _, hop := range tr.TraceHops {
+		if hop.TTL > tr.CensorHop && !hop.Asterisk {
+			if name := p.ispOfRouterAddr(hop.Addr); name != "" {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// ispOfRouterAddr maps a router interface address to an ISP name by ASN.
+func (p *Probe) ispOfRouterAddr(addr netip.Addr) string {
+	b := addr.As4()
+	// Router interfaces live in 100.a.x.y where a = ASN-100 (world
+	// addressing plan).
+	if b[0] != 100 {
+		return ""
+	}
+	for _, isp := range p.World.ISPList {
+		if int(b[1]) == isp.ASN-100 {
+			return isp.Name
+		}
+	}
+	return ""
+}

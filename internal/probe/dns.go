@@ -1,0 +1,193 @@
+package probe
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// Bogon prefixes (the probe's copy of the public bogon list the paper
+// cites): answers inside these are never legitimate site addresses.
+var bogonPrefixes = []netip.Prefix{
+	netip.MustParsePrefix("0.0.0.0/8"),
+	netip.MustParsePrefix("10.0.0.0/8"),
+	netip.MustParsePrefix("100.64.0.0/10"),
+	netip.MustParsePrefix("127.0.0.0/8"),
+	netip.MustParsePrefix("169.254.0.0/16"),
+	netip.MustParsePrefix("172.16.0.0/12"),
+	netip.MustParsePrefix("192.0.2.0/24"),
+	netip.MustParsePrefix("192.168.0.0/16"),
+	netip.MustParsePrefix("240.0.0.0/4"),
+}
+
+// IsBogon reports whether an address falls in a bogon range.
+func IsBogon(a netip.Addr) bool {
+	for _, p := range bogonPrefixes {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// DiscoverResolvers scans the ISP's advertised prefixes for hosts that
+// answer a recursive query for a known-good control domain — the paper's
+// open-resolver sweep over the ISP's IPv4 space.
+func (p *Probe) DiscoverResolvers(controlDomain string) []netip.Addr {
+	var found []netip.Addr
+	seen := map[netip.Addr]bool{}
+	for _, pfx := range p.World.Net.Prefixes() {
+		// Hosts live in the /24s; the /16 is the core's fallback aggregate.
+		if pfx.ASN != p.ISP.ASN || pfx.Prefix.Bits() != 24 {
+			continue
+		}
+		base := pfx.Prefix.Addr().As4()
+		for last := 1; last <= 254; last++ {
+			dst := netip.AddrFrom4([4]byte{base[0], base[1], base[2], byte(last)})
+			p.ISP.Client.DNS.QueryAsync(dst, controlDomain, func(m *dnswire.Message, from netip.Addr) {
+				if m.RCode == dnswire.RCodeNoError && len(m.Answers) > 0 && !seen[from] {
+					seen[from] = true
+					found = append(found, from)
+				}
+			})
+		}
+		// Flush per prefix to bound outstanding handler registrations.
+		p.World.Eng.RunFor(200 * time.Millisecond)
+	}
+	p.World.Eng.RunFor(time.Second)
+	sort.Slice(found, func(i, j int) bool { return found[i].Less(found[j]) })
+	return found
+}
+
+// DNSScanResult summarizes the censorship scan of one ISP's resolvers.
+type DNSScanResult struct {
+	Resolvers []netip.Addr
+	// BlockedBy maps each censorious resolver to the PBW domains it
+	// manipulated.
+	BlockedBy map[netip.Addr][]string
+	// BlockedDomains is the union, in website-ID order.
+	BlockedDomains []string
+	// Coverage is poisoned/total resolvers; Consistency the Figure 2
+	// metric: mean over blocked URLs of the fraction of poisoned
+	// resolvers blocking them.
+	Coverage    float64
+	Consistency float64
+	// Series maps each blocked domain to the percentage of poisoned
+	// resolvers blocking it — the Figure 2 Y values.
+	Series map[string]float64
+}
+
+// ScanResolvers queries every resolver for every domain and applies the
+// paper's §3.2 heuristics to decide which answers are manipulated:
+//
+//  1. answers overlapping the Tor-resolved set are clean;
+//  2. answers inside the client's own AS are manipulated (no PBW is
+//     hosted there);
+//  3. bogon answers are manipulated;
+//  4. addresses answering for many distinct domains (frequency analysis)
+//     are suspects, cleared only if fetching the domain from that address
+//     via Tor actually serves content (shared hosting / CDN edges do;
+//     block hosts do not).
+func (p *Probe) ScanResolvers(resolvers []netip.Addr, domains []string) *DNSScanResult {
+	res := &DNSScanResult{
+		Resolvers: resolvers,
+		BlockedBy: make(map[netip.Addr][]string),
+		Series:    make(map[string]float64),
+	}
+	// Tor ground truth per domain, resolved once.
+	torSets := make(map[string]map[netip.Addr]bool, len(domains))
+	for _, d := range domains {
+		addrs, err := p.ResolveViaTor(d)
+		set := map[netip.Addr]bool{}
+		if err == nil {
+			for _, a := range addrs {
+				set[a] = true
+			}
+		}
+		torSets[d] = set
+	}
+	clientASN := p.World.Net.ASNOf(p.ISP.Client.Addr())
+	verified := map[netip.Addr]bool{} // Tor-verified shared-hosting addrs
+	checked := map[netip.Addr]bool{}
+
+	type answer struct {
+		domain string
+		addr   netip.Addr
+	}
+	for _, r := range resolvers {
+		var answers []answer
+		for _, d := range domains {
+			d := d
+			p.ISP.Client.DNS.QueryAsync(r, d, func(m *dnswire.Message, _ netip.Addr) {
+				if m.RCode == dnswire.RCodeNoError && len(m.Answers) > 0 {
+					answers = append(answers, answer{domain: d, addr: m.Answers[0].Addr})
+				}
+			})
+		}
+		p.World.Eng.RunFor(2 * time.Second)
+
+		// Frequency analysis over this resolver's answers.
+		freq := map[netip.Addr]int{}
+		for _, a := range answers {
+			if !torSets[a.domain][a.addr] {
+				freq[a.addr]++
+			}
+		}
+		var blocked []string
+		for _, a := range answers {
+			if torSets[a.domain][a.addr] {
+				continue // overlap with ground truth: clean
+			}
+			manipulated := false
+			switch {
+			case p.World.Net.ASNOf(a.addr) == clientASN && clientASN != 0:
+				manipulated = true // heuristic 1 of §3.2
+			case IsBogon(a.addr):
+				manipulated = true // heuristic 2
+			case freq[a.addr] > 3:
+				// Frequency suspect: verify once via Tor HTTP fetch.
+				if !checked[a.addr] {
+					checked[a.addr] = true
+					fr := GetFrom(p.World.TorExit, a.addr, a.domain, nil, p.Timeout)
+					verified[a.addr] = len(fr.Responses) > 0 && fr.Responses[0].StatusCode == 200
+				}
+				manipulated = !verified[a.addr]
+			}
+			if manipulated {
+				blocked = append(blocked, a.domain)
+			}
+		}
+		if len(blocked) > 0 {
+			res.BlockedBy[r] = blocked
+		}
+	}
+
+	// Metrics.
+	poisoned := len(res.BlockedBy)
+	if len(resolvers) > 0 {
+		res.Coverage = float64(poisoned) / float64(len(resolvers))
+	}
+	counts := map[string]int{}
+	for _, list := range res.BlockedBy {
+		for _, d := range list {
+			counts[d]++
+		}
+	}
+	for _, d := range domains { // keep website-ID order
+		if counts[d] > 0 {
+			res.BlockedDomains = append(res.BlockedDomains, d)
+		}
+	}
+	if poisoned > 0 && len(res.BlockedDomains) > 0 {
+		sum := 0.0
+		for _, d := range res.BlockedDomains {
+			frac := float64(counts[d]) / float64(poisoned)
+			res.Series[d] = 100 * frac
+			sum += frac
+		}
+		res.Consistency = sum / float64(len(res.BlockedDomains))
+	}
+	return res
+}

@@ -1,0 +1,66 @@
+package probe
+
+import (
+	"bytes"
+	"net/netip"
+
+	"repro/internal/tlswire"
+)
+
+// HTTPSResult is the outcome of one HTTPS (SNI) probe.
+type HTTPSResult struct {
+	Domain string
+	Addr   netip.Addr
+	// Connected: the TCP handshake to port 443 completed.
+	Connected bool
+	// HandshakeOK: a ServerHello for our SNI came back — no on-path
+	// element interfered with the TLS exchange.
+	HandshakeOK bool
+	// Reset: the connection was killed mid-handshake.
+	Reset bool
+	// DNSManipulated: the locally resolved address disagrees with the
+	// Tor-resolved one and the handshake failed — the only HTTPS
+	// "censorship" the paper found.
+	DNSManipulated bool
+}
+
+// DetectHTTPS probes a domain over port 443 with a real ClientHello
+// carrying the censored SNI. The paper's middleboxes inspect only port 80,
+// so this must succeed whenever resolution was honest — and the
+// reproduction's tests assert exactly that.
+func (p *Probe) DetectHTTPS(domain string) HTTPSResult {
+	res := HTTPSResult{Domain: domain}
+	localAddrs, lerr := p.ResolveLocal(domain)
+	torAddrs, terr := p.ResolveViaTor(domain)
+	addr := netip.Addr{}
+	switch {
+	case lerr == nil && len(localAddrs) > 0:
+		addr = localAddrs[0]
+	case terr == nil && len(torAddrs) > 0:
+		addr = torAddrs[0]
+	default:
+		return res
+	}
+	res.Addr = addr
+
+	c := p.ISP.Client.TCP.Connect(addr, 443)
+	if err := c.WaitEstablished(p.Timeout); err == nil {
+		res.Connected = true
+		var random [32]byte
+		hello, err := tlswire.ClientHello(domain, random)
+		if err == nil {
+			c.Send(hello)
+			stream := c.WaitQuiet(p.Timeout)
+			res.HandshakeOK = bytes.Contains(stream, []byte("SERVERHELLO:"+domain))
+		}
+		_, res.Reset = c.WasReset()
+		if !c.Dead() {
+			c.Abort()
+			p.World.Eng.RunFor(p.Timeout / 100)
+		}
+	}
+	if !res.HandshakeOK && terr == nil && lerr == nil && len(torAddrs) > 0 && localAddrs[0] != torAddrs[0] {
+		res.DNSManipulated = true
+	}
+	return res
+}

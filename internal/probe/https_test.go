@@ -1,0 +1,68 @@
+package probe
+
+import (
+	"testing"
+
+	"repro/internal/websim"
+)
+
+// The paper's HTTPS negative result (§4.2): censored domains load fine
+// over port 443 because the middleboxes inspect only port 80 and never
+// parse SNI — the only HTTPS breakage traces back to poisoned DNS.
+func TestHTTPSNotFilteredByMiddleboxes(t *testing.T) {
+	w := world(t)
+	idea := w.ISP("Idea")
+	p := New(w, idea)
+	d := blockedOnPath(t, w, idea)
+	// HTTP is censored...
+	det := p.DetectHTTP(d)
+	if !det.Blocked {
+		t.Fatalf("expected %s to be HTTP-censored", d)
+	}
+	// ...but HTTPS with the same (censored) SNI completes untouched.
+	res := p.DetectHTTPS(d)
+	if !res.Connected || !res.HandshakeOK {
+		t.Errorf("HTTPS for censored domain interfered with: %+v", res)
+	}
+	if res.Reset {
+		t.Error("HTTPS connection reset by a middlebox")
+	}
+}
+
+func TestHTTPSBrokenOnlyByDNSPoisoning(t *testing.T) {
+	w := world(t)
+	mtnl := w.ISP("MTNL")
+	p := New(w, mtnl)
+	var victim string
+	for _, d := range mtnl.DNSList {
+		s, _ := w.Catalog.Site(d)
+		if s != nil && s.Kind == websim.KindNormal && mtnl.Resolvers[0].PoisonsDomain(d) {
+			victim = d
+			break
+		}
+	}
+	if victim == "" {
+		t.Skip("no poisoned normal domain")
+	}
+	res := p.DetectHTTPS(victim)
+	if res.HandshakeOK {
+		t.Fatalf("handshake should fail against the poisoned address: %+v", res)
+	}
+	if !res.DNSManipulated {
+		t.Errorf("breakage not attributed to DNS: %+v", res)
+	}
+	// A clean site over HTTPS works from the same client.
+	for _, s := range w.Catalog.PBW {
+		if s.Kind != websim.KindNormal {
+			continue
+		}
+		if tr := w.TruthFor(mtnl, s.Domain); tr.Blocked() {
+			continue
+		}
+		clean := p.DetectHTTPS(s.Domain)
+		if !clean.HandshakeOK {
+			t.Errorf("clean HTTPS failed: %+v", clean)
+		}
+		break
+	}
+}

@@ -1,0 +1,28 @@
+package probe
+
+// PrecisionRecall computes the paper's accuracy pair from a detector's
+// positive set against ground truth: precision = |D∩T|/|D|, recall =
+// |D∩T|/|T| (Table 1 semantics).
+func PrecisionRecall(detected, truth map[string]bool) (precision, recall float64, tp int) {
+	for d := range detected {
+		if truth[d] {
+			tp++
+		}
+	}
+	if len(detected) > 0 {
+		precision = float64(tp) / float64(len(detected))
+	}
+	if len(truth) > 0 {
+		recall = float64(tp) / float64(len(truth))
+	}
+	return precision, recall, tp
+}
+
+// SetOf converts a slice into a membership set.
+func SetOf(items []string) map[string]bool {
+	out := make(map[string]bool, len(items))
+	for _, s := range items {
+		out[s] = true
+	}
+	return out
+}

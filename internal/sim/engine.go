@@ -1,0 +1,183 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Everything in the reproduction — packet delivery, middlebox injection
+// races, DNS lookups, TCP timeouts — is scheduled on a single Engine. The
+// engine is strictly single-threaded: callbacks run inside Run/RunUntil on
+// the caller's goroutine, which makes every experiment bit-for-bit
+// reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp measured from the start of the simulation.
+type Time time.Duration
+
+// Duration aliases time.Duration for readability at call sites.
+type Duration = time.Duration
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break so equal-time events run FIFO
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event; Stop cancels it.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the callback had not yet run.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Engine is a deterministic discrete-event scheduler with a virtual clock
+// and a seeded random source. The zero value is not usable; construct with
+// NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	rng    *rand.Rand
+	events uint64 // total events executed, for instrumentation
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending returns the number of scheduled (not yet executed) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Executed returns the total number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.events }
+
+// Schedule runs fn after delay d of virtual time. A negative delay is
+// treated as zero. The returned Timer can cancel the event.
+func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: e.now.Add(d), seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// step executes the earliest pending event. It reports false when the queue
+// is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.events++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.step() {
+	}
+}
+
+// ErrDeadline is returned by RunUntil when the condition did not become true
+// before the virtual deadline or queue exhaustion.
+var ErrDeadline = fmt.Errorf("sim: deadline exceeded")
+
+// RunUntil executes events until cond() reports true, returning nil, or
+// until the virtual clock passes the deadline (now+timeout) or the queue
+// drains, returning ErrDeadline. cond is checked after every event.
+func (e *Engine) RunUntil(timeout Duration, cond func() bool) error {
+	deadline := e.now.Add(timeout)
+	if cond() {
+		return nil
+	}
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		if !e.step() {
+			break
+		}
+		if cond() {
+			return nil
+		}
+	}
+	// Advance the clock to the deadline so successive timeouts accumulate
+	// the way wall-clock retries would.
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return ErrDeadline
+}
+
+// RunFor executes events for d of virtual time and then returns, leaving
+// later events queued. The clock always ends at now+d.
+func (e *Engine) RunFor(d Duration) {
+	deadline := e.now.Add(d)
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		if !e.step() {
+			break
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

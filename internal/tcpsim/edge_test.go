@@ -1,0 +1,126 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netpkt"
+)
+
+// Both sides closing at once (simultaneous close) must converge without
+// leaking connections.
+func TestSimultaneousClose(t *testing.T) {
+	f := newFixture(t, 3)
+	var sconn *Conn
+	f.sstack.Listen(80, func(c *Conn) { sconn = c })
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunFor(50 * time.Millisecond)
+	c.Close()
+	sconn.Close()
+	f.eng.RunFor(5 * time.Second)
+	if !c.Dead() || !sconn.Dead() {
+		t.Errorf("states after simultaneous close: client=%v server=%v", c.State(), sconn.State())
+	}
+	if f.cstack.OpenConns() != 0 || f.sstack.OpenConns() != 0 {
+		t.Errorf("leaked conns: client=%d server=%d", f.cstack.OpenConns(), f.sstack.OpenConns())
+	}
+}
+
+// Closing twice or aborting a closed connection must be harmless.
+func TestCloseIdempotent(t *testing.T) {
+	f := newFixture(t, 3)
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close()
+	c.Abort()
+	c.Abort()
+	f.eng.RunFor(time.Second)
+	if f.cstack.OpenConns() != 0 {
+		t.Errorf("conns = %d", f.cstack.OpenConns())
+	}
+}
+
+// Port accounting: thousands of short connections must not leak ports or
+// slow down allocation (regression test for the O(n) ephemeral scan).
+func TestPortAccountingUnderChurn(t *testing.T) {
+	f := newFixture(t, 3)
+	for i := 0; i < 3000; i++ {
+		c := f.cstack.Connect(f.server.Addr(), 80)
+		if err := c.WaitEstablished(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		c.Abort()
+		f.eng.RunFor(10 * time.Millisecond)
+	}
+	if f.cstack.OpenConns() != 0 {
+		t.Errorf("open conns = %d", f.cstack.OpenConns())
+	}
+	if len(f.cstack.portRefs) != 0 {
+		t.Errorf("leaked port refs = %d", len(f.cstack.portRefs))
+	}
+}
+
+// A SYN to a listening port while a connection from the same 4-tuple is
+// half-closed must not corrupt the table.
+func TestHalfClosedThenData(t *testing.T) {
+	f := newFixture(t, 3)
+	var sconn *Conn
+	f.sstack.Listen(80, func(c *Conn) { sconn = c })
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunFor(50 * time.Millisecond)
+	// Server half-closes; client keeps sending.
+	sconn.Close()
+	f.eng.RunFor(time.Second)
+	if !c.PeerClosed() {
+		t.Fatal("client did not see server FIN")
+	}
+	c.Send([]byte("late data"))
+	f.eng.RunFor(time.Second)
+	if string(sconn.Stream()) != "late data" {
+		t.Errorf("server stream = %q", sconn.Stream())
+	}
+}
+
+// Window-probe style zero-length ACKs must not advance state or crash.
+func TestPureAckStorm(t *testing.T) {
+	f := newFixture(t, 3)
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c.SendRaw(nil, RawOpts{Flags: netpkt.ACK})
+	}
+	f.eng.RunFor(time.Second)
+	if c.State() != StateEstablished {
+		t.Errorf("state = %v", c.State())
+	}
+}
+
+// A forged FIN with a sequence number in the future must not be accepted.
+func TestFutureFINRejected(t *testing.T) {
+	f := newFixture(t, 3)
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	forged := netpkt.NewTCP(f.server.Addr(), f.client.Addr(), &netpkt.TCPSegment{
+		SrcPort: 80, DstPort: c.LocalPort(),
+		Seq: c.RcvNxt() + 5000, Ack: c.SndNxt(),
+		Flags: netpkt.FIN | netpkt.ACK, Window: 65535,
+	})
+	f.net.InjectAt(f.routers[1], forged)
+	f.eng.RunFor(time.Second)
+	if c.PeerClosed() {
+		t.Error("out-of-window FIN accepted")
+	}
+}

@@ -1,0 +1,352 @@
+package tcpsim
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netpkt"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func addr(a, b, c, d byte) netip.Addr { return netip.AddrFrom4([4]byte{a, b, c, d}) }
+
+type fixture struct {
+	eng      *sim.Engine
+	net      *netsim.Network
+	client   *netsim.Host
+	server   *netsim.Host
+	cstack   *Stack
+	sstack   *Stack
+	routers  []*netsim.Router
+	accepted []*Conn
+}
+
+func newFixture(t testing.TB, hops int) *fixture {
+	if t != nil {
+		t.Helper()
+	}
+	eng := sim.NewEngine(7)
+	n := netsim.New(eng)
+	routers := make([]*netsim.Router, hops)
+	for i := range routers {
+		routers[i] = n.AddRouter("r", 10, addr(100, 64, byte(i), 1))
+		if i > 0 {
+			n.Link(routers[i-1], routers[i], time.Millisecond)
+		}
+	}
+	client := n.AddHost(addr(10, 0, 0, 2), routers[0], time.Millisecond)
+	server := n.AddHost(addr(203, 0, 113, 80), routers[hops-1], time.Millisecond)
+	n.Build()
+	f := &fixture{
+		eng: eng, net: n, client: client, server: server,
+		cstack: NewStack(client), sstack: NewStack(server), routers: routers,
+	}
+	f.sstack.Listen(80, func(c *Conn) { f.accepted = append(f.accepted, c) })
+	return f
+}
+
+func TestHandshake(t *testing.T) {
+	f := newFixture(t, 3)
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunFor(50 * time.Millisecond) // let the final ACK land
+	if len(f.accepted) != 1 {
+		t.Fatalf("accepted %d conns, want 1", len(f.accepted))
+	}
+	if f.accepted[0].State() != StateEstablished {
+		t.Errorf("server conn state = %v", f.accepted[0].State())
+	}
+}
+
+func TestDataExchange(t *testing.T) {
+	f := newFixture(t, 3)
+	var serverGot []byte
+	f.sstack.Listen(80, func(c *Conn) {
+		c.OnData = func(c *Conn) {
+			serverGot = c.Stream()
+			if bytes.HasSuffix(c.Stream(), []byte("\r\n\r\n")) {
+				c.Send([]byte("HTTP/1.1 200 OK\r\n\r\nhello"))
+			}
+		}
+	})
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	req := []byte("GET / HTTP/1.1\r\nHost: x.in\r\n\r\n")
+	c.Send(req)
+	got := c.WaitStream(25, time.Second)
+	if !bytes.Equal(serverGot, req) {
+		t.Errorf("server got %q", serverGot)
+	}
+	if !bytes.Contains(got, []byte("hello")) {
+		t.Errorf("client got %q", got)
+	}
+}
+
+func TestSegmentedReassembly(t *testing.T) {
+	f := newFixture(t, 3)
+	var serverGot []byte
+	f.sstack.Listen(80, func(c *Conn) {
+		c.OnData = func(c *Conn) { serverGot = c.Stream() }
+	})
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("GET / HTTP/1.1\r\nHost: blocked.example.in\r\n\r\n")
+	c.SendSegmented(payload, 5)
+	f.eng.RunFor(time.Second)
+	if !bytes.Equal(serverGot, payload) {
+		t.Errorf("reassembled = %q, want %q", serverGot, payload)
+	}
+}
+
+func TestOrderlyClose(t *testing.T) {
+	f := newFixture(t, 3)
+	f.sstack.Listen(80, func(sc *Conn) {
+		sc.OnData = func(sc *Conn) {
+			if sc.PeerClosed() && sc.State() == StateCloseWait {
+				sc.Close()
+			}
+		}
+	})
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if !c.WaitClosed(5 * time.Second) {
+		t.Fatalf("client conn not closed: state=%v", c.State())
+	}
+	f.eng.RunFor(2 * time.Second)
+	if f.sstack.OpenConns() != 0 {
+		t.Errorf("server still has %d conns", f.sstack.OpenConns())
+	}
+}
+
+func TestConnectRefused(t *testing.T) {
+	f := newFixture(t, 3)
+	c := f.cstack.Connect(f.server.Addr(), 8080) // nothing listens
+	err := c.WaitEstablished(time.Second)
+	if err == nil {
+		t.Fatal("connect to closed port succeeded")
+	}
+	if c.State() != StateReset {
+		t.Errorf("state = %v, want RESET", c.State())
+	}
+}
+
+// A forged FIN+PSH with correct seq/ack (the wiretap middlebox's
+// notification packet) must be accepted and tear the stream down.
+func TestForgedFINAccepted(t *testing.T) {
+	f := newFixture(t, 3)
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunFor(50 * time.Millisecond)
+	notification := []byte("HTTP/1.1 200 OK\r\n\r\nThis site is blocked")
+	forged := netpkt.NewTCP(f.server.Addr(), f.client.Addr(), &netpkt.TCPSegment{
+		SrcPort: 80, DstPort: c.LocalPort(),
+		Seq: c.RcvNxt(), Ack: c.SndNxt(),
+		Flags: netpkt.FIN | netpkt.PSH | netpkt.ACK, Window: 65535,
+		Payload: notification,
+	})
+	f.net.InjectAt(f.routers[1], forged)
+	f.eng.RunFor(time.Second)
+	if !c.PeerClosed() {
+		t.Error("forged FIN not honoured")
+	}
+	if !bytes.Equal(c.Stream(), notification) {
+		t.Errorf("stream = %q", c.Stream())
+	}
+}
+
+func TestStaleRSTIgnoredValidRSTKills(t *testing.T) {
+	f := newFixture(t, 3)
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Stale RST: wrong sequence number.
+	stale := netpkt.NewTCP(f.server.Addr(), f.client.Addr(), &netpkt.TCPSegment{
+		SrcPort: 80, DstPort: c.LocalPort(), Seq: c.RcvNxt() + 1000, Flags: netpkt.RST,
+	})
+	f.net.InjectAt(f.routers[1], stale)
+	f.eng.RunFor(time.Second)
+	if _, reset := c.WasReset(); reset {
+		t.Fatal("stale RST accepted")
+	}
+	// Valid RST: exact rcvNxt.
+	valid := netpkt.NewTCP(f.server.Addr(), f.client.Addr(), &netpkt.TCPSegment{
+		SrcPort: 80, DstPort: c.LocalPort(), Seq: c.RcvNxt(), Flags: netpkt.RST,
+	})
+	f.net.InjectAt(f.routers[1], valid)
+	f.eng.RunFor(time.Second)
+	if _, reset := c.WasReset(); !reset {
+		t.Fatal("valid RST ignored")
+	}
+	if c.State() != StateReset {
+		t.Errorf("state = %v", c.State())
+	}
+}
+
+// After a connection is reset, a late real response must elicit a
+// stack-level RST — the paper observed exactly this when the genuine
+// server response arrived after the censor's forged teardown.
+func TestLateDataAfterResetGetsRST(t *testing.T) {
+	f := newFixture(t, 3)
+	var sconn *Conn
+	f.sstack.Listen(80, func(c *Conn) { sconn = c })
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunFor(50 * time.Millisecond)
+	// Kill the client side with a valid forged RST.
+	f.net.InjectAt(f.routers[1], netpkt.NewTCP(f.server.Addr(), f.client.Addr(), &netpkt.TCPSegment{
+		SrcPort: 80, DstPort: c.LocalPort(), Seq: c.RcvNxt(), Flags: netpkt.RST,
+	}))
+	f.eng.RunFor(time.Second)
+	before := f.cstack.RSTsSent
+	// Server now sends its (late) response.
+	sconn.Send([]byte("real content"))
+	f.eng.RunFor(time.Second)
+	if f.cstack.RSTsSent != before+1 {
+		t.Errorf("client stack RSTs = %d, want %d", f.cstack.RSTsSent, before+1)
+	}
+	if _, reset := sconn.WasReset(); !reset {
+		t.Error("server conn should be reset by the client's stack-level RST")
+	}
+}
+
+func TestOutOfOrderDupAck(t *testing.T) {
+	f := newFixture(t, 3)
+	var sconn *Conn
+	f.sstack.Listen(80, func(c *Conn) { sconn = c })
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunFor(50 * time.Millisecond)
+	// Send a segment 100 bytes ahead of the expected sequence.
+	c.SendRaw([]byte("future data"), RawOpts{SeqOffset: 100})
+	f.eng.RunFor(time.Second)
+	if sconn.DupAcks != 1 {
+		t.Errorf("server DupAcks = %d, want 1", sconn.DupAcks)
+	}
+	if len(sconn.Stream()) != 0 {
+		t.Errorf("out-of-order data must not be delivered: %q", sconn.Stream())
+	}
+}
+
+// The paired-TTL experiment sends the same GET twice at the same sequence
+// position; the server must treat the second as a retransmission-like
+// in-order segment when the first never arrived.
+func TestSameSeqRetransmission(t *testing.T) {
+	f := newFixture(t, 3)
+	var sconn *Conn
+	f.sstack.Listen(80, func(c *Conn) { sconn = c })
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunFor(50 * time.Millisecond)
+	payload := []byte("GET / HTTP/1.1\r\nHost: x.in\r\n\r\n")
+	c.SendRaw(payload, RawOpts{TTL: 2, Advance: false}) // dies before the server
+	c.SendRaw(payload, RawOpts{Advance: true})          // same seq, full TTL
+	f.eng.RunFor(time.Second)
+	if !bytes.Equal(sconn.Stream(), payload) {
+		t.Errorf("server stream = %q", sconn.Stream())
+	}
+	if sconn.DupAcks != 0 {
+		t.Errorf("dup acks = %d, want 0", sconn.DupAcks)
+	}
+}
+
+func TestAbortSendsRST(t *testing.T) {
+	f := newFixture(t, 3)
+	var sconn *Conn
+	f.sstack.Listen(80, func(c *Conn) { sconn = c })
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunFor(50 * time.Millisecond)
+	c.Abort()
+	f.eng.RunFor(time.Second)
+	if _, reset := sconn.WasReset(); !reset {
+		t.Error("server side not reset by Abort")
+	}
+	if c.State() != StateClosed {
+		t.Errorf("client state = %v", c.State())
+	}
+}
+
+func TestEphemeralPortsDistinct(t *testing.T) {
+	f := newFixture(t, 3)
+	seen := map[uint16]bool{}
+	for i := 0; i < 50; i++ {
+		c := f.cstack.Connect(f.server.Addr(), 80)
+		if seen[c.LocalPort()] {
+			t.Fatalf("port %d reused", c.LocalPort())
+		}
+		seen[c.LocalPort()] = true
+	}
+}
+
+func TestIPIDOnRawSegments(t *testing.T) {
+	f := newFixture(t, 3)
+	c := f.cstack.Connect(f.server.Addr(), 80)
+	if err := c.WaitEstablished(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.server.StartCapture()
+	c.SendRaw([]byte("x"), RawOpts{IPID: 242, Advance: true})
+	f.eng.RunFor(time.Second)
+	cap := f.server.StopCapture()
+	found := false
+	for _, rec := range cap {
+		if rec.Pkt.IP.ID == 242 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("IP-ID 242 not preserved end to end")
+	}
+}
+
+// Property: any payload, split into any number of segments, reassembles
+// identically at the server.
+func TestPropertyStreamIntegrity(t *testing.T) {
+	f := func(payload []byte, nSeg uint8) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		if len(payload) > 2000 {
+			payload = payload[:2000]
+		}
+		fix := newFixture(nil, 4)
+		var got []byte
+		fix.sstack.Listen(80, func(c *Conn) {
+			c.OnData = func(c *Conn) { got = c.Stream() }
+		})
+		c := fix.cstack.Connect(fix.server.Addr(), 80)
+		if err := c.WaitEstablished(time.Second); err != nil {
+			return false
+		}
+		c.SendSegmented(payload, int(nSeg%7)+1)
+		fix.eng.RunFor(2 * time.Second)
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package tlswire implements just enough of the TLS 1.2 record and
+// handshake framing to put realistic ClientHello bytes — including the SNI
+// extension — on simulated port-443 connections.
+//
+// The paper observed "fewer than five instances of HTTPS filtering which
+// were actually due to manipulated DNS responses" (§4.2): the Indian
+// middleboxes of 2018 inspected only TCP port 80 and never parsed SNI.
+// This package exists so the reproduction can demonstrate that negative
+// result mechanically: HTTPS requests for censored domains sail through
+// every middlebox, and the only HTTPS breakage comes from poisoned
+// resolution (see probe.DetectHTTPS and the httpsim tests).
+package tlswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Record/handshake constants (RFC 5246).
+const (
+	RecordHandshake   = 22
+	HandshakeHello    = 1
+	extServerName     = 0
+	sniHostName       = 0
+	versionTLS12      = 0x0303
+	helloRandomLength = 32
+)
+
+// ClientHello builds a TLS record containing a minimal ClientHello with
+// the given SNI host name. random must be 32 bytes (pass zeros for
+// deterministic tests).
+func ClientHello(sni string, random [32]byte) ([]byte, error) {
+	if len(sni) == 0 || len(sni) > 255 {
+		return nil, fmt.Errorf("tlswire: bad SNI length %d", len(sni))
+	}
+	// server_name extension body: list length, type, name length, name.
+	name := []byte(sni)
+	sniEntry := make([]byte, 0, len(name)+5)
+	sniEntry = append(sniEntry, sniHostName)
+	sniEntry = binary.BigEndian.AppendUint16(sniEntry, uint16(len(name)))
+	sniEntry = append(sniEntry, name...)
+	ext := make([]byte, 0, len(sniEntry)+6)
+	ext = binary.BigEndian.AppendUint16(ext, extServerName)
+	ext = binary.BigEndian.AppendUint16(ext, uint16(len(sniEntry)+2))
+	ext = binary.BigEndian.AppendUint16(ext, uint16(len(sniEntry)))
+	ext = append(ext, sniEntry...)
+
+	body := make([]byte, 0, 64+len(ext))
+	body = binary.BigEndian.AppendUint16(body, versionTLS12)
+	body = append(body, random[:]...)
+	body = append(body, 0)                             // session id length
+	body = binary.BigEndian.AppendUint16(body, 2)      // cipher suites length
+	body = binary.BigEndian.AppendUint16(body, 0xc02f) // one suite
+	body = append(body, 1, 0)                          // compression: null
+	body = binary.BigEndian.AppendUint16(body, uint16(len(ext)))
+	body = append(body, ext...)
+
+	hs := make([]byte, 0, len(body)+4)
+	hs = append(hs, HandshakeHello)
+	hs = append(hs, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	hs = append(hs, body...)
+
+	rec := make([]byte, 0, len(hs)+5)
+	rec = append(rec, RecordHandshake)
+	rec = binary.BigEndian.AppendUint16(rec, versionTLS12)
+	rec = binary.BigEndian.AppendUint16(rec, uint16(len(hs)))
+	rec = append(rec, hs...)
+	return rec, nil
+}
+
+// ParseSNI extracts the server name from a ClientHello record, the way an
+// SNI-inspecting censor (which India's 2018 middleboxes were not) would.
+func ParseSNI(b []byte) (string, error) {
+	if len(b) < 5 || b[0] != RecordHandshake {
+		return "", fmt.Errorf("tlswire: not a handshake record")
+	}
+	recLen := int(binary.BigEndian.Uint16(b[3:5]))
+	if len(b) < 5+recLen {
+		return "", fmt.Errorf("tlswire: truncated record")
+	}
+	hs := b[5 : 5+recLen]
+	if len(hs) < 4 || hs[0] != HandshakeHello {
+		return "", fmt.Errorf("tlswire: not a ClientHello")
+	}
+	body := hs[4:]
+	// Fixed prefix: version(2) + random(32), then session id.
+	off := 2 + helloRandomLength
+	if len(body) < off+1 {
+		return "", fmt.Errorf("tlswire: short hello")
+	}
+	sessLen := int(body[off])
+	off += 1 + sessLen
+	if len(body) < off+2 {
+		return "", fmt.Errorf("tlswire: short cipher suites")
+	}
+	csLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2 + csLen
+	if len(body) < off+1 {
+		return "", fmt.Errorf("tlswire: short compression")
+	}
+	compLen := int(body[off])
+	off += 1 + compLen
+	if len(body) < off+2 {
+		return "", fmt.Errorf("tlswire: no extensions")
+	}
+	extLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if len(body) < off+extLen {
+		return "", fmt.Errorf("tlswire: truncated extensions")
+	}
+	exts := body[off : off+extLen]
+	for len(exts) >= 4 {
+		typ := binary.BigEndian.Uint16(exts[0:2])
+		l := int(binary.BigEndian.Uint16(exts[2:4]))
+		if len(exts) < 4+l {
+			return "", fmt.Errorf("tlswire: truncated extension")
+		}
+		if typ == extServerName {
+			e := exts[4 : 4+l]
+			if len(e) < 5 || e[2] != sniHostName {
+				return "", fmt.Errorf("tlswire: malformed SNI")
+			}
+			n := int(binary.BigEndian.Uint16(e[3:5]))
+			if len(e) < 5+n {
+				return "", fmt.Errorf("tlswire: truncated SNI name")
+			}
+			return string(e[5 : 5+n]), nil
+		}
+		exts = exts[4+l:]
+	}
+	return "", fmt.Errorf("tlswire: no SNI extension")
+}

@@ -1,0 +1,81 @@
+package tlswire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	var r [32]byte
+	for i := range r {
+		r[i] = byte(i)
+	}
+	rec, err := ClientHello("blocked.example.in", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sni, err := ParseSNI(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sni != "blocked.example.in" {
+		t.Errorf("SNI = %q", sni)
+	}
+}
+
+func TestClientHelloValidation(t *testing.T) {
+	var r [32]byte
+	if _, err := ClientHello("", r); err == nil {
+		t.Error("empty SNI accepted")
+	}
+	if _, err := ClientHello(strings.Repeat("x", 256), r); err == nil {
+		t.Error("oversized SNI accepted")
+	}
+}
+
+func TestParseSNIRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{RecordHandshake, 3, 3, 0, 10}, // truncated record
+		{23, 3, 3, 0, 1, 0},            // wrong record type
+		{RecordHandshake, 3, 3, 0, 4, 2, 0, 0, 0}, // not a ClientHello
+	}
+	for i, b := range cases {
+		if _, err := ParseSNI(b); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+// Property: every well-formed domain round-trips through the handshake
+// encoding; the parser never panics on truncations.
+func TestPropertyRoundTripAndTruncation(t *testing.T) {
+	f := func(raw []byte, cut uint16) bool {
+		var sb strings.Builder
+		for _, c := range raw {
+			sb.WriteByte("abcdefghijklmnopqrstuvwxyz0123456789-."[int(c)%38])
+		}
+		sni := strings.Trim(sb.String(), "-.")
+		if sni == "" || len(sni) > 255 {
+			return true
+		}
+		var r [32]byte
+		rec, err := ClientHello(sni, r)
+		if err != nil {
+			return false
+		}
+		got, err := ParseSNI(rec)
+		if err != nil || got != sni {
+			return false
+		}
+		// Any truncation must error, not panic.
+		n := int(cut) % len(rec)
+		_, _ = ParseSNI(rec[:n])
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

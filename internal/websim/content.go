@@ -1,0 +1,104 @@
+package websim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// words is the vocabulary for deterministic pseudo-content.
+var words = []string{
+	"stream", "access", "portal", "media", "forum", "network", "channel",
+	"gallery", "archive", "update", "review", "profile", "market", "signal",
+	"digest", "weekly", "report", "source", "mirror", "index",
+}
+
+// line produces the i-th deterministic content line for a domain.
+func line(domain string, i int) string {
+	h := hash64(fmt.Sprintf("%s#%d", domain, i))
+	return fmt.Sprintf("<p>%s %s %s %d</p>",
+		words[h%uint64(len(words))],
+		words[(h>>8)%uint64(len(words))],
+		words[(h>>16)%uint64(len(words))],
+		h%9973)
+}
+
+// PageSpec describes a render request.
+type PageSpec struct {
+	Site   *Site
+	Region Region
+	// Fetch is the server's per-domain fetch counter, driving dynamic
+	// content churn.
+	Fetch int
+}
+
+// RenderBody produces the deterministic HTML body for a page fetch.
+//
+// Layout: title, a stable base section derived from the domain, then —
+// depending on the site kind — a regional section (CDN) and/or a per-fetch
+// feed section (dynamic). Section sizes are chosen so that:
+//   - plain CDN sites differ across regions by well under a 0.3 line-diff
+//     (only ads change), while RegionalTemplate CDN sites differ by more;
+//   - dynamic sites with BigFeed churn past the threshold between fetches,
+//     others stay under it.
+func RenderBody(spec PageSpec) []byte {
+	s := spec.Site
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s portal %s</title></head><body>\n",
+		s.Domain, s.Category)
+	baseLines := 30 + int(hash64(s.Domain+"|len")%20)
+	for i := 0; i < baseLines; i++ {
+		b.WriteString(line(s.Domain, i))
+		b.WriteString("\n")
+	}
+	switch s.Kind {
+	case KindCDN:
+		if s.RegionalTemplate {
+			// Regional template: a block comparable to the base content.
+			for i := 0; i < baseLines; i++ {
+				b.WriteString(line(fmt.Sprintf("%s|tmpl|%s", s.Domain, spec.Region), i))
+				b.WriteString("\n")
+			}
+		} else {
+			// Only localized ads: a few lines.
+			for i := 0; i < 3; i++ {
+				fmt.Fprintf(&b, "<p>ad %s %s %d</p>\n", spec.Region, s.Domain, i)
+			}
+		}
+	case KindDynamic:
+		feedLines := 4
+		if s.BigFeed {
+			feedLines = baseLines
+		}
+		for i := 0; i < feedLines; i++ {
+			b.WriteString(line(fmt.Sprintf("%s|feed|%d", s.Domain, spec.Fetch), i))
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}
+
+// RenderParkedBody is what a parking edge serves for a dead domain. The
+// page is entirely region-dependent — the distributed-hosting artifact the
+// paper identifies as an OONI false-positive source.
+func RenderParkedBody(domain string, region Region) []byte {
+	var b strings.Builder
+	switch region {
+	case RegionIN:
+		fmt.Fprintf(&b, "<html><head><title>domain parked notice</title></head><body>\n")
+		fmt.Fprintf(&b, "<h1>%s is parked</h1>\n", domain)
+		for i := 0; i < 12; i++ {
+			b.WriteString(line(domain+"|park-in", i))
+			b.WriteString("\n")
+		}
+	default:
+		fmt.Fprintf(&b, "<html><head><title>purchase this premium domain</title></head><body>\n")
+		fmt.Fprintf(&b, "<h1>Buy %s today</h1>\n", domain)
+		for i := 0; i < 40; i++ {
+			b.WriteString(line(domain+"|park-intl", i))
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}

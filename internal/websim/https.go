@@ -1,0 +1,61 @@
+package websim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/tcpsim"
+	"repro/internal/tlswire"
+)
+
+// EnableHTTPS makes the server answer TLS handshakes on port 443. The
+// simulation does not encrypt — it answers a valid ClientHello with a
+// synthetic ServerHello record followed by an opaque application-data
+// record derived from the requested (SNI) site's content, enough to tell
+// "the handshake completed and content flowed" from "the connection was
+// interfered with".
+//
+// The point of HTTPS in this reproduction is a negative result: the
+// paper's middleboxes inspect only TCP port 80 and never parse SNI, so
+// censored domains load fine over HTTPS unless DNS poisoning broke
+// resolution first (§4.2: "fewer than five instances of HTTPS filtering
+// which were actually due to manipulated DNS responses").
+func (s *Server) EnableHTTPS() {
+	s.stack.Listen(443, s.acceptTLS)
+}
+
+func (s *Server) acceptTLS(c *tcpsim.Conn) {
+	responded := false
+	c.OnData = func(c *tcpsim.Conn) {
+		if responded {
+			return
+		}
+		sni, err := tlswire.ParseSNI(c.Stream())
+		if err != nil {
+			return // wait for more bytes; garbage simply never completes
+		}
+		responded = true
+		if !s.parking {
+			if _, hosted := s.sites[sni]; !hosted {
+				// TLS alert: unrecognized_name (simplified as RST-free
+				// close, like SNI-strict frontends).
+				c.Close()
+				return
+			}
+		}
+		s.Requests++
+		c.Send(serverHelloFor(sni))
+		c.Close()
+	}
+}
+
+// serverHelloFor renders the synthetic ServerHello + application data.
+func serverHelloFor(sni string) []byte {
+	payload := []byte(fmt.Sprintf("SERVERHELLO:%s", sni))
+	rec := make([]byte, 0, len(payload)+5)
+	rec = append(rec, tlswire.RecordHandshake)
+	rec = binary.BigEndian.AppendUint16(rec, 0x0303)
+	rec = binary.BigEndian.AppendUint16(rec, uint16(len(payload)))
+	rec = append(rec, payload...)
+	return rec
+}

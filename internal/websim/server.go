@@ -1,0 +1,173 @@
+package websim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/httpwire"
+	"repro/internal/tcpsim"
+)
+
+// ServerProfile selects which response header names a server emits. OONI's
+// web_connectivity compares header *names* between control and experiment,
+// so profile differences across regions are a false-positive source and
+// profile mimicry by censors a false-negative source.
+type ServerProfile int
+
+// Profiles.
+const (
+	ProfileStandard ServerProfile = iota // Content-Length, Content-Type, Server
+	ProfileCDNEdge                       // + Via, X-Cache
+	ProfileParkIN                        // parking software used by the IN edge
+	ProfileParkIntl                      // different parking software elsewhere
+)
+
+// apply attaches profile headers (beyond Content-Length, which NewResponse
+// sets) to a response.
+func (p ServerProfile) apply(r *httpwire.Response, region Region) {
+	r.AddHeader("Content-Type", "text/html")
+	switch p {
+	case ProfileStandard:
+		r.AddHeader("Server", "nginx/1.14.2")
+	case ProfileCDNEdge:
+		r.AddHeader("Server", "cdn-edge/3.1")
+		r.AddHeader("Via", fmt.Sprintf("1.1 edge-%s", region))
+		r.AddHeader("X-Cache", "HIT")
+	case ProfileParkIN:
+		r.AddHeader("Server", "parkd/1.0")
+		r.AddHeader("X-Parked-By", "in-hosting")
+	case ProfileParkIntl:
+		r.AddHeader("Server", "ParkingCo-Web")
+		r.AddHeader("X-Listing", "premium")
+		r.AddHeader("X-Broker", "auto")
+	}
+}
+
+// Server implements the origin-server behaviour for one web host. A host
+// may serve a single dedicated site, a whole CDN edge, or a parking
+// service.
+type Server struct {
+	stack   *tcpsim.Stack
+	region  Region
+	profile ServerProfile
+
+	// RegionOf, when set, selects the served region from the client's
+	// source address — the behaviour of an anycast CDN edge, whose single
+	// IP serves location-dependent content (a paper-documented OONI
+	// false-positive source that DNS comparison cannot see).
+	RegionOf func(netip.Addr) Region
+
+	// sites the host serves by domain; nil Site with parking=true means
+	// "serve a parked page for any domain".
+	sites   map[string]*Site
+	parking bool
+
+	fetches map[string]int
+	// Requests counts successfully served requests (tests/metrics).
+	Requests int
+}
+
+// NewServer attaches server logic to a TCP stack, listening on port 80.
+func NewServer(stack *tcpsim.Stack, region Region, profile ServerProfile) *Server {
+	s := &Server{
+		stack: stack, region: region, profile: profile,
+		sites:   make(map[string]*Site),
+		fetches: make(map[string]int),
+	}
+	stack.Listen(80, s.accept)
+	return s
+}
+
+// Host adds a site to this server's virtual hosts.
+func (s *Server) Host(site *Site) { s.sites[site.Domain] = site }
+
+// ServeParked turns the server into a parking edge answering any domain.
+func (s *Server) ServeParked() { s.parking = true }
+
+// accept wires per-connection request parsing.
+func (s *Server) accept(c *tcpsim.Conn) {
+	var consumed int
+	c.OnData = func(c *tcpsim.Conn) {
+		stream := c.Stream()[consumed:]
+		for {
+			req, rest, err := httpwire.ParseRequest(stream)
+			if err == httpwire.ErrIncomplete {
+				return
+			}
+			consumed += len(stream) - len(rest)
+			stream = rest
+			if err != nil {
+				// Malformed message (e.g. the trailing junk left by the
+				// multiple-Host evasion): 400, keep the connection.
+				c.Send(httpwire.NewResponse(400, "Bad Request", []byte("<html><body>Bad Request</body></html>")).Marshal())
+				continue
+			}
+			s.respond(c, req)
+		}
+	}
+}
+
+// respond serves one parsed request per RFC 2616 semantics: the first Host
+// header, matched case-insensitively with LWS-trimmed value, selects the
+// virtual host.
+func (s *Server) respond(c *tcpsim.Conn, req *httpwire.Request) {
+	host, ok := req.Host()
+	if !ok {
+		c.Send(httpwire.NewResponse(400, "Bad Request", []byte("<html><body>Missing Host</body></html>")).Marshal())
+		return
+	}
+	region := s.region
+	if s.RegionOf != nil {
+		region = s.RegionOf(c.RemoteAddr())
+	}
+	s.Requests++
+	var resp *httpwire.Response
+	switch {
+	case s.parking:
+		// Parking services answer on one (anycast) address but route the
+		// request to region-local infrastructure: content, headers and
+		// title all depend on where the client sits — the GoDaddy-style
+		// false positive of §6.2. Only some listings run different edge
+		// software per region (different header names); the rest differ
+		// in content alone, which OONI's header check clears.
+		resp = httpwire.NewResponse(200, "OK", RenderParkedBody(host, region))
+		profile := ProfileParkIntl
+		if region == RegionIN && hashBool(host, "park-soft", 40) {
+			profile = ProfileParkIN
+		}
+		profile.apply(resp, region)
+		c.Send(resp.Marshal())
+		s.finish(c, req)
+		return
+	default:
+		site, hosted := s.sites[host]
+		if !hosted {
+			// A server that does not host the requested domain — the
+			// paper's remote-controlled hosts respond exactly like this.
+			resp = httpwire.NewResponse(404, "Not Found", []byte("<html><body>No such site here</body></html>"))
+			s.profile.apply(resp, region)
+			c.Send(resp.Marshal())
+			s.finish(c, req)
+			return
+		}
+		s.fetches[host]++
+		resp = httpwire.NewResponse(200, "OK", RenderBody(PageSpec{
+			Site: site, Region: region, Fetch: s.fetches[host],
+		}))
+	}
+	profile := s.profile
+	if site, hosted := s.sites[host]; hosted && site.RegionalHeaders && region == RegionIN {
+		// Regional edge running different software: different header names.
+		profile = ProfileCDNEdge
+	}
+	profile.apply(resp, region)
+	c.Send(resp.Marshal())
+	s.finish(c, req)
+}
+
+// finish closes the connection if the client asked for it.
+func (s *Server) finish(c *tcpsim.Conn, req *httpwire.Request) {
+	if v, ok := req.HeaderValue("Connection"); ok && v == "close" {
+		c.Close()
+	}
+}

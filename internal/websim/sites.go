@@ -1,0 +1,244 @@
+// Package websim builds the simulated web: the catalog of potentially
+// blocked websites (PBWs) and popular (Alexa-style) destinations, their
+// hosting model (dedicated hosts, CDN edges, domain-parking services), the
+// deterministic content each serves per region and per fetch, and the HTTP
+// server logic that runs on every web host.
+//
+// The catalog deliberately contains the messy realities the paper blames
+// for OONI's false positives: CDN-hosted domains that resolve to different
+// edges (and serve different bytes) per region, dynamic sites whose news
+// feeds and advertisements change between fetches, parked domains whose
+// placeholder pages depend on which parking edge answers, and gone domains
+// that still resolve but no longer host anything.
+package websim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+)
+
+// Region is a coarse geography used for CDN edge selection and
+// region-dependent content.
+type Region int
+
+// Regions in the simulation.
+const (
+	RegionIN Region = iota // India
+	RegionUS
+	RegionEU
+	regionCount
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionIN:
+		return "IN"
+	case RegionUS:
+		return "US"
+	case RegionEU:
+		return "EU"
+	default:
+		return fmt.Sprintf("region(%d)", int(r))
+	}
+}
+
+// Kind classifies how a site is hosted and how its content behaves.
+type Kind int
+
+// Site kinds.
+const (
+	KindNormal  Kind = iota // dedicated hosting, stable content
+	KindCDN                 // regional edges, region-dependent content
+	KindDynamic             // dedicated hosting, per-fetch feeds and ads
+	KindDead                // parked: resolves to a parking service
+	KindGone                // resolves to an address nothing listens on
+)
+
+func (k Kind) String() string {
+	return [...]string{"normal", "cdn", "dynamic", "dead", "gone"}[k]
+}
+
+// Category is one of the paper's seven PBW content categories.
+type Category string
+
+// The seven categories of §3.
+var Categories = []Category{
+	"escort", "porn", "music", "torrent", "politics", "tools", "social",
+}
+
+// categoryQuota splits the 1200 PBWs across categories.
+var categoryQuota = map[Category]int{
+	"escort": 150, "porn": 400, "music": 120, "torrent": 180,
+	"politics": 150, "tools": 100, "social": 100,
+}
+
+// Site is one website in the simulated web.
+type Site struct {
+	Domain   string
+	Category Category
+	Kind     Kind
+	// PBWIndex is the site's position in the potentially-blocked list, or
+	// -1 for Alexa-only sites.
+	PBWIndex int
+
+	// HomeRegion is where a dedicated site is hosted.
+	HomeRegion Region
+	// RegionalTemplate marks CDN sites whose page template (not just ads)
+	// differs per region — the big-content-diff false-positive source.
+	RegionalTemplate bool
+	// RegionalHeaders marks sites whose response header names differ per
+	// region (edge software differences).
+	RegionalHeaders bool
+	// BigFeed marks dynamic sites whose per-fetch churn exceeds typical
+	// diff thresholds.
+	BigFeed bool
+
+	// Addrs is filled in by the world builder: the address a resolver in
+	// each region hands out.
+	Addrs map[Region]netip.Addr
+}
+
+// Addr returns the address the site resolves to from the given region.
+func (s *Site) Addr(r Region) netip.Addr { return s.Addrs[r] }
+
+// hash64 gives a stable per-string seed for all deterministic choices.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// hashBool derives a deterministic boolean with probability pct/100 from a
+// labelled hash of the domain. The label leads so FNV decorrelates the
+// different per-domain decisions.
+func hashBool(domain, label string, pct uint64) bool {
+	return hash64(label+"|"+domain)%100 < pct
+}
+
+// Catalog is the full simulated web.
+type Catalog struct {
+	PBW     []*Site          // the 1200 potentially blocked websites, in ID order
+	Alexa   []*Site          // the Alexa-style top destinations
+	ByName  map[string]*Site // every site by domain
+	Regions []Region
+}
+
+// tldFor spreads plausible TLDs deterministically.
+func tldFor(domain string) string {
+	switch hash64(domain) % 5 {
+	case 0:
+		return "in"
+	case 1:
+		return "net"
+	case 2:
+		return "org"
+	default:
+		return "com"
+	}
+}
+
+// kindFor assigns the hosting/content kind with the calibrated mix: 8%
+// dead, 3% gone, 20% CDN, 12% dynamic, rest normal (DESIGN.md §4).
+func kindFor(domain string) Kind {
+	v := hash64("kind|"+domain) % 100
+	switch {
+	case v < 8:
+		return KindDead
+	case v < 11:
+		return KindGone
+	case v < 31:
+		return KindCDN
+	case v < 43:
+		return KindDynamic
+	default:
+		return KindNormal
+	}
+}
+
+// NewCatalog builds the deterministic site population: nPBW potentially
+// blocked sites across the seven categories plus nAlexa popular sites.
+func NewCatalog(nPBW, nAlexa int) *Catalog {
+	c := &Catalog{ByName: make(map[string]*Site), Regions: []Region{RegionIN, RegionUS, RegionEU}}
+	// Distribute PBWs across categories proportionally to the quotas.
+	total := 0
+	for _, q := range categoryQuota {
+		total += q
+	}
+	idx := 0
+	for _, cat := range Categories {
+		n := categoryQuota[cat] * nPBW / total
+		for i := 0; i < n && idx < nPBW; i++ {
+			name := fmt.Sprintf("%s-site-%03d", cat, i)
+			domain := fmt.Sprintf("%s.%s", name, tldFor(name))
+			s := &Site{
+				Domain:   domain,
+				Category: cat,
+				Kind:     kindFor(domain),
+				PBWIndex: idx,
+				Addrs:    make(map[Region]netip.Addr),
+			}
+			s.HomeRegion = RegionUS
+			if hashBool(domain, "home", 50) {
+				s.HomeRegion = RegionEU
+			}
+			s.RegionalTemplate = s.Kind == KindCDN && hashBool(domain, "template", 50)
+			s.RegionalHeaders = (s.Kind == KindCDN && hashBool(domain, "hdrs", 40)) || s.Kind == KindDead
+			s.BigFeed = s.Kind == KindDynamic && hashBool(domain, "feed", 50)
+			c.PBW = append(c.PBW, s)
+			c.ByName[domain] = s
+			idx++
+		}
+	}
+	// Fill any rounding shortfall with extra porn-category sites (the
+	// largest category in the paper's corpus).
+	for idx < nPBW {
+		name := fmt.Sprintf("porn-extra-%03d", idx)
+		domain := name + ".com"
+		s := &Site{Domain: domain, Category: "porn", Kind: kindFor(domain),
+			PBWIndex: idx, HomeRegion: RegionUS, Addrs: make(map[Region]netip.Addr)}
+		c.PBW = append(c.PBW, s)
+		c.ByName[domain] = s
+		idx++
+	}
+	// Alexa sites: always normal hosting so they make dependable scan
+	// destinations.
+	for i := 0; i < nAlexa; i++ {
+		domain := fmt.Sprintf("popular-%04d.com", i)
+		s := &Site{
+			Domain: domain, Category: "alexa", Kind: KindNormal, PBWIndex: -1,
+			HomeRegion: RegionUS, Addrs: make(map[Region]netip.Addr),
+		}
+		if hashBool(domain, "home", 50) {
+			s.HomeRegion = RegionEU
+		}
+		c.Alexa = append(c.Alexa, s)
+		c.ByName[domain] = s
+	}
+	return c
+}
+
+// Site returns the site for a domain.
+func (c *Catalog) Site(domain string) (*Site, bool) {
+	s, ok := c.ByName[domain]
+	return s, ok
+}
+
+// PBWDomains lists the potentially-blocked domains in ID order — the
+// probe's input list.
+func (c *Catalog) PBWDomains() []string {
+	out := make([]string, len(c.PBW))
+	for i, s := range c.PBW {
+		out[i] = s.Domain
+	}
+	return out
+}
+
+// AlexaDomains lists the popular destinations in rank order.
+func (c *Catalog) AlexaDomains() []string {
+	out := make([]string, len(c.Alexa))
+	for i, s := range c.Alexa {
+		out[i] = s.Domain
+	}
+	return out
+}
