@@ -19,8 +19,7 @@ import (
 // evaluation at full scale (1200 PBWs, Alexa destinations, 40 vantage
 // points) and prints the measured rows next to the paper's. Absolute
 // precision/recall and coverage values are expected to land near the
-// paper's; shapes (who wins, zero cells, orderings) must match. See
-// EXPERIMENTS.md for the recorded comparison.
+// paper's; shapes (who wins, zero cells, orderings) must match.
 
 var (
 	suiteOnce sync.Once

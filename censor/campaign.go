@@ -1,0 +1,216 @@
+package censor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+
+	"repro/internal/ispnet"
+)
+
+// Campaign describes one fan-out: every configured vantage runs every
+// measurement over every domain. Nil fields fall back to the session:
+// nil Domains means the full potentially-blocked-website list, nil
+// Measurements means every built-in detector. Empty non-nil slices mean
+// exactly what they say — nothing — so a filter that matched nothing
+// does not explode into a full sweep.
+type Campaign struct {
+	// Domains are the websites to measure, in output order.
+	Domains []string
+	// Measurements are the detectors to run, in output order.
+	Measurements []Measurement
+}
+
+// Stream delivers campaign results in their deterministic order: by
+// vantage (configured order), then measurement, then domain. Consume
+// Results() to completion, then check Err(). A consumer that stops
+// reading early must call Cancel (or cancel the campaign context) so the
+// workers behind the stream wind down.
+type Stream struct {
+	ch     chan Result
+	cancel context.CancelFunc
+	err    error // written by the merger before ch closes
+}
+
+// Results is the stream's delivery channel; it closes when the campaign
+// completes or is cancelled.
+func (st *Stream) Results() <-chan Result { return st.ch }
+
+// Cancel stops the campaign early. Results() still closes (drain it),
+// and Err() reports the cancellation. Safe to call multiple times.
+func (st *Stream) Cancel() { st.cancel() }
+
+// Err reports why the stream ended early (context cancellation), or nil
+// after a complete run. Only valid once Results() is closed.
+func (st *Stream) Err() error { return st.err }
+
+// Collect drains the stream into a slice.
+func (st *Stream) Collect() ([]Result, error) {
+	var out []Result
+	for r := range st.ch {
+		out = append(out, r)
+	}
+	return out, st.err
+}
+
+// WriteJSONL drains the stream, writing each result as one JSONL line as
+// it arrives. On a write error it cancels the campaign and drains the
+// remainder so no worker is left blocked behind the stream.
+func (st *Stream) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for r := range st.ch {
+		if err := enc.Encode(&r); err != nil {
+			st.Cancel()
+			for range st.ch {
+			}
+			return fmt.Errorf("censor: jsonl: %w", err)
+		}
+	}
+	return st.err
+}
+
+// task is one schedulable unit: one vantage running one measurement over
+// all campaign domains inside its own world replica.
+type task struct {
+	vantage string
+	m       Measurement
+}
+
+// Run executes a campaign and returns its result stream. Options override
+// the session's defaults for this run only (vantages, workers, timeout,
+// attempts).
+//
+// Scheduling is deterministic by construction: each task runs in a fresh
+// world built from the session's seed, so its results do not depend on
+// which worker executes it or when; the merger then emits task outputs in
+// task order. WithWorkers(N) for any N ≥ 1 therefore yields byte-identical
+// streams.
+func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stream, error) {
+	cfg := s.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// Only vantages/workers/timeout/attempts are overridable per run:
+	// replica worlds must mirror the session world that supplied the
+	// domain list and validated the vantages, or the determinism contract
+	// (and the catalog itself) breaks.
+	if !reflect.DeepEqual(cfg.world, s.cfg.world) {
+		return nil, fmt.Errorf("censor: world options (WithScale/WithSeed/WithWorldConfig) are fixed per session; start a new Session instead")
+	}
+	for _, name := range cfg.vantages {
+		if s.world.ISP(name) == nil {
+			return nil, fmt.Errorf("censor: unknown vantage ISP %q", name)
+		}
+	}
+	domains := c.Domains
+	if domains == nil {
+		domains = s.PBWDomains()
+	}
+	measurements := c.Measurements
+	if measurements == nil {
+		measurements = Measurements()
+	}
+
+	var tasks []task
+	if len(domains) > 0 {
+		for _, name := range cfg.vantages {
+			for _, m := range measurements {
+				tasks = append(tasks, task{vantage: name, m: m})
+			}
+		}
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	st := &Stream{ch: make(chan Result, 64), cancel: cancel}
+	results := make([][]Result, len(tasks))
+	done := make([]chan struct{}, len(tasks))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	// Feeder + workers: claim tasks in order, run each in isolation.
+	idxCh := make(chan int)
+	go func() {
+		defer close(idxCh)
+		for i := range tasks {
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	workers := cfg.workers
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = runTask(ctx, cfg, tasks[i], domains)
+				close(done[i])
+			}
+		}()
+	}
+
+	// Merger: emit task outputs in task order as they complete.
+	go func() {
+		defer close(st.ch)
+		defer cancel() // release the derived context once fully drained
+		defer wg.Wait()
+		for i := range tasks {
+			select {
+			case <-done[i]:
+			case <-ctx.Done():
+				st.err = ctx.Err()
+				return
+			}
+			for _, r := range results[i] {
+				select {
+				case st.ch <- r:
+				case <-ctx.Done():
+					st.err = ctx.Err()
+					return
+				}
+			}
+		}
+		// Every result was delivered: the campaign completed, even if a
+		// cancellation raced in after the final send.
+	}()
+	return st, nil
+}
+
+// runTask builds the task's private world replica and measures every
+// domain in order, stopping at the first context cancellation.
+//
+// One replica per (vantage, measurement) is deliberate: the ~100ms build
+// is negligible against the measurement sweep, it gives the worker pool
+// finer units to balance, and — more importantly — every detector sees a
+// pristine network, so no detector's verdicts depend on the engine state
+// an earlier detector left behind.
+func runTask(ctx context.Context, cfg config, t task, domains []string) []Result {
+	if ctx.Err() != nil {
+		return nil
+	}
+	world := ispnet.NewWorld(cfg.world)
+	v, err := newVantage(world, t.vantage, cfg)
+	if err != nil {
+		// Vantages were validated against the session world; a replica
+		// missing one is unreachable, but fail loudly rather than panic.
+		return []Result{{Vantage: t.vantage, Measurement: t.m.Kind(), Error: err.Error()}}
+	}
+	out := make([]Result, 0, len(domains))
+	for _, d := range domains {
+		if ctx.Err() != nil {
+			return out
+		}
+		out = append(out, t.m.Measure(ctx, v, d))
+	}
+	return out
+}

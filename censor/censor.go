@@ -1,0 +1,272 @@
+// Package censor is the public measurement API of the reproduction: a
+// context-aware, concurrent replacement for the internal/core façade.
+//
+// A Session binds a simulated Indian Internet (the world of Yadav et al.,
+// IMC 2018) to a measurement configuration. Individual measurements run
+// synchronously on the session's world via [Session.Measure]; campaigns —
+// many vantages × many detectors × many domains, the shape of the paper's
+// months-long study — run through [Session.Run], which fans tasks out over
+// a deterministic worker pool and streams uniform [Result] records back in
+// a stable order. A campaign executed with [WithWorkers](N) produces
+// byte-identical output to the same campaign executed sequentially.
+//
+// A typical session:
+//
+//	sess, _ := censor.NewSession(ctx, censor.WithScale(censor.ScaleSmall))
+//	stream, _ := sess.Run(ctx, censor.Campaign{
+//		Domains:      sess.PBWDomains()[:50],
+//		Measurements: []censor.Measurement{censor.HTTP(), censor.DNS()},
+//	}, censor.WithWorkers(4))
+//	for res := range stream.Results() {
+//		fmt.Println(res.Domain, res.Blocked, res.Mechanism)
+//	}
+//
+// Determinism: every task of a campaign (one vantage running one
+// measurement over the campaign's domains) executes inside its own
+// freshly built world seeded from the session's configuration, so task
+// results are independent of scheduling, and the merger emits them in
+// task order. This is what makes parallel campaigns reproducible — and it
+// is the seam later scaling work (sharding, caching, remote backends)
+// plugs into.
+package censor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ispnet"
+	"repro/internal/probe"
+)
+
+// Scale selects a world size.
+type Scale int
+
+// The two calibrated world sizes.
+const (
+	// ScalePaper is the paper-scale world: 1200 potentially blocked
+	// websites, Alexa 1000, 40 vantage points, the nine ISPs plus TATA.
+	ScalePaper Scale = iota
+	// ScaleSmall is the reduced world for experimentation and tests.
+	ScaleSmall
+)
+
+// StudyISPs are the nine ISPs of the study, in the paper's order: the
+// default vantage set for campaigns.
+var StudyISPs = []string{
+	"Airtel", "Idea", "Vodafone", "Jio", "MTNL", "BSNL", "NKN", "Sify", "Siti",
+}
+
+// config carries session and campaign settings; Options mutate it.
+type config struct {
+	world    ispnet.Config
+	timeout  time.Duration
+	attempts int
+	vantages []string
+	workers  int
+}
+
+func defaultConfig() config {
+	return config{
+		world:    ispnet.DefaultConfig(),
+		timeout:  3 * time.Second,
+		vantages: StudyISPs,
+		workers:  1,
+	}
+}
+
+// Option configures a Session or overrides its defaults for one campaign.
+type Option func(*config)
+
+// WithScale picks one of the calibrated world sizes.
+func WithScale(s Scale) Option {
+	return func(c *config) {
+		if s == ScaleSmall {
+			c.world = ispnet.SmallConfig()
+		} else {
+			c.world = ispnet.DefaultConfig()
+		}
+	}
+}
+
+// WithSeed reseeds the world's deterministic engine.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.world.Seed = seed }
+}
+
+// WithWorldConfig installs a fully custom world configuration (in-repo
+// callers; external users size worlds with WithScale/WithSeed).
+func WithWorldConfig(cfg ispnet.Config) Option {
+	return func(c *config) { c.world = cfg }
+}
+
+// WithTimeout bounds every network wait a probe performs.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithAttempts sets the per-fetch retry count detectors use to beat
+// wiretap race losses (0 keeps each detector's paper-calibrated default).
+func WithAttempts(n int) Option {
+	return func(c *config) {
+		if n >= 0 {
+			c.attempts = n
+		}
+	}
+}
+
+// WithVantages sets the vantage ISPs campaigns fan out over, in order.
+// The default is the nine studied ISPs (StudyISPs). Direct access via
+// Session.Vantage/Measure is not restricted by this list.
+func WithVantages(isps ...string) Option {
+	return func(c *config) {
+		if len(isps) > 0 {
+			c.vantages = append([]string(nil), isps...)
+		}
+	}
+}
+
+// WithWorkers sets campaign parallelism. Results are byte-identical for
+// every N ≥ 1; only wall-clock time changes.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// Session binds one simulated world to a measurement configuration. The
+// session's own world backs Measure and Vantage; campaign tasks build
+// isolated replicas of it (same seed, same sizing) so they can run
+// concurrently without sharing the single-threaded simulation engine.
+//
+// Concurrency: Measure calls serialize on the shared world and may be
+// issued from multiple goroutines. Probes reached through Vantage drive
+// that same world WITHOUT the lock — do not use them concurrently with
+// Measure or with each other. Campaigns take no lock at all; they scale
+// across workers on replica worlds instead.
+type Session struct {
+	cfg config
+
+	mu    sync.Mutex // guards world: the sim engine is single-threaded
+	world *ispnet.World
+}
+
+// NewSession builds the world and validates the configuration.
+func NewSession(ctx context.Context, opts ...Option) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// Validate vantages against the profile list before paying for the
+	// world build, so a typo fails instantly even at paper scale.
+	known := make(map[string]bool, len(cfg.world.Profiles))
+	for i := range cfg.world.Profiles {
+		known[cfg.world.Profiles[i].Name] = true
+	}
+	for _, name := range cfg.vantages {
+		if !known[name] {
+			return nil, fmt.Errorf("censor: unknown vantage ISP %q", name)
+		}
+	}
+	return &Session{cfg: cfg, world: ispnet.NewWorld(cfg.world)}, nil
+}
+
+// World exposes the session's shared world (in-repo callers: oracle
+// access for evaluation, raw endpoints for packet-level demos). The world
+// is bound to a single-threaded engine; serialize access with the
+// session's measurement calls.
+func (s *Session) World() *ispnet.World { return s.world }
+
+// WorldConfig returns the configuration campaign workers replicate.
+func (s *Session) WorldConfig() ispnet.Config { return s.cfg.world }
+
+// Vantages returns the session's configured vantage ISPs.
+func (s *Session) Vantages() []string {
+	return append([]string(nil), s.cfg.vantages...)
+}
+
+// PBWDomains returns the world's potentially-blocked-website list, the
+// paper's 1200-domain measurement population.
+func (s *Session) PBWDomains() []string {
+	return s.world.Catalog.PBWDomains()
+}
+
+// Vantage returns a measurement vantage inside the named ISP, bound to
+// the session's shared world.
+func (s *Session) Vantage(name string) (*Vantage, error) {
+	return newVantage(s.world, name, s.cfg)
+}
+
+// MustVantage is Vantage for vantages known to exist (demo binaries,
+// tests); it panics on an unknown ISP.
+func MustVantage(s *Session, name string) *Vantage {
+	v, err := s.Vantage(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Measure runs one measurement for each domain from the named vantage on
+// the session's shared world, synchronously and in order, honouring ctx
+// between domains. For fan-out across vantages or detectors use Run.
+func (s *Session) Measure(ctx context.Context, vantage string, m Measurement, domains ...string) ([]Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.Vantage(vantage)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(domains))
+	for _, d := range domains {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		out = append(out, m.Measure(ctx, v, d))
+	}
+	return out, nil
+}
+
+// Vantage is a measurement client inside one ISP. Vantages returned by
+// Session.Vantage share the session's world and must not be used
+// concurrently with each other; campaign workers get private ones.
+type Vantage struct {
+	name  string
+	world *ispnet.World
+	probe *probe.Probe
+	// classifier caches §3.2 Tor-verifications across this vantage's
+	// measurements, like the paper's fleet scans.
+	classifier *probe.AnswerClassifier
+}
+
+func newVantage(w *ispnet.World, name string, cfg config) (*Vantage, error) {
+	isp := w.ISP(name)
+	if isp == nil {
+		return nil, fmt.Errorf("censor: unknown vantage ISP %q", name)
+	}
+	p := probe.New(w, isp)
+	p.Timeout = cfg.timeout
+	p.Attempts = cfg.attempts
+	return &Vantage{name: name, world: w, probe: p, classifier: p.NewAnswerClassifier()}, nil
+}
+
+// Name returns the vantage's ISP name.
+func (v *Vantage) Name() string { return v.name }
+
+// Probe exposes the underlying measurement toolkit for flows the uniform
+// Measurement interface does not cover (tracers, trigger batteries,
+// resolver sweeps).
+func (v *Vantage) Probe() *probe.Probe { return v.probe }
+
+// World exposes the world this vantage measures in.
+func (v *Vantage) World() *ispnet.World { return v.world }

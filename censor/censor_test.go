@@ -1,0 +1,269 @@
+package censor
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/websim"
+)
+
+// testSession builds one shared small-world session for the package tests.
+var sharedSession *Session
+
+func session(t *testing.T) *Session {
+	t.Helper()
+	if sharedSession == nil {
+		s, err := NewSession(context.Background(), WithScale(ScaleSmall))
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		sharedSession = s
+	}
+	return sharedSession
+}
+
+// blockedDomain finds an HTTP-censored normal-kind domain via the oracle.
+func blockedDomain(t *testing.T, s *Session, isp string) string {
+	t.Helper()
+	w := s.World()
+	for _, d := range w.ISP(isp).HTTPList {
+		if site, ok := w.Catalog.Site(d); !ok || site.Kind != websim.KindNormal {
+			continue
+		}
+		if tr := w.TruthFor(w.ISP(isp), d); tr.HTTPFiltered {
+			return d
+		}
+	}
+	t.Skipf("no blocked normal domain in %s", isp)
+	return ""
+}
+
+func TestSessionMeasure(t *testing.T) {
+	s := session(t)
+	d := blockedDomain(t, s, "Idea")
+	results, err := s.Measure(context.Background(), "Idea", HTTP(), d)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if len(results) != 1 || !results[0].Blocked {
+		t.Fatalf("HTTP measurement missed oracle-blocked domain: %+v", results)
+	}
+	if results[0].Measurement != "http" || results[0].Vantage != "Idea" || results[0].Domain != d {
+		t.Errorf("result identity fields wrong: %+v", results[0])
+	}
+	if results[0].Mechanism == "" {
+		t.Errorf("blocked result carries no mechanism: %+v", results[0])
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := NewSession(context.Background(), WithScale(ScaleSmall), WithVantages("NoSuchISP")); err == nil {
+		t.Error("NewSession accepted an unknown vantage")
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewSession(cancelled); err == nil {
+		t.Error("NewSession ignored a cancelled context")
+	}
+	s := session(t)
+	if _, err := s.Run(context.Background(), Campaign{}, WithVantages("NoSuchISP")); err == nil {
+		t.Error("Run accepted an unknown vantage")
+	}
+	if _, err := s.Run(context.Background(), Campaign{}, WithSeed(42)); err == nil {
+		t.Error("Run accepted a world-mutating per-run option")
+	}
+	// Empty non-nil slices mean "nothing", not "everything".
+	stream, err := s.Run(context.Background(), Campaign{Domains: []string{}})
+	if err != nil {
+		t.Fatalf("Run(empty domains): %v", err)
+	}
+	if results, err := stream.Collect(); err != nil || len(results) != 0 {
+		t.Errorf("empty Domains produced %d results (err=%v), want 0", len(results), err)
+	}
+}
+
+// TestCampaignParallelGolden is the determinism contract: a campaign with
+// WithWorkers(N) must produce byte-identical JSONL to the sequential run.
+// Run under -race this also exercises the worker pool for data races.
+func TestCampaignParallelGolden(t *testing.T) {
+	s := session(t)
+	campaign := Campaign{
+		Domains:      s.PBWDomains()[:8],
+		Measurements: []Measurement{DNS(), HTTP()},
+	}
+	vantages := WithVantages("Airtel", "MTNL", "Idea")
+
+	runWith := func(workers int) []byte {
+		stream, err := s.Run(context.Background(), campaign, vantages, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := stream.WriteJSONL(&buf); err != nil {
+			t.Fatalf("WriteJSONL(workers=%d): %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+
+	sequential := runWith(1)
+	parallel := runWith(6)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatalf("parallel campaign diverged from sequential run:\n--- workers=1 ---\n%s\n--- workers=6 ---\n%s",
+			sequential, parallel)
+	}
+
+	// The stream must be well-formed and in deterministic task order:
+	// vantage-major, then measurement, then domain.
+	results, err := ReadJSONL(bytes.NewReader(sequential))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	wantLen := 3 * 2 * len(campaign.Domains)
+	if len(results) != wantLen {
+		t.Fatalf("got %d results, want %d", len(results), wantLen)
+	}
+	i := 0
+	blocked := 0
+	for _, vant := range []string{"Airtel", "MTNL", "Idea"} {
+		for _, kind := range []string{"dns", "http"} {
+			for _, d := range campaign.Domains {
+				r := results[i]
+				if r.Vantage != vant || r.Measurement != kind || r.Domain != d {
+					t.Fatalf("result %d out of order: got (%s,%s,%s), want (%s,%s,%s)",
+						i, r.Vantage, r.Measurement, r.Domain, vant, kind, d)
+				}
+				if r.Blocked {
+					blocked++
+				}
+				i++
+			}
+		}
+	}
+	if blocked == 0 {
+		t.Error("campaign over censoring ISPs observed no censorship at all")
+	}
+}
+
+// TestCampaignNineISPs fans the full default vantage set out across
+// workers — the paper's nine-ISP sweep — and checks every vantage
+// reported. Under -race this is the concurrency stress for the pool.
+func TestCampaignNineISPs(t *testing.T) {
+	s := session(t)
+	stream, err := s.Run(context.Background(), Campaign{
+		Domains:      s.PBWDomains()[:2],
+		Measurements: []Measurement{DNS()},
+	}, WithWorkers(9))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	results, err := stream.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(results) != len(StudyISPs)*2 {
+		t.Fatalf("got %d results, want %d", len(results), len(StudyISPs)*2)
+	}
+	for i, vant := range StudyISPs {
+		if results[2*i].Vantage != vant {
+			t.Errorf("vantage order broken at %d: %s", i, results[2*i].Vantage)
+		}
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	s := session(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream, err := s.Run(ctx, Campaign{
+		// Enough work that cancellation strikes mid-campaign.
+		Domains:      s.PBWDomains()[:64],
+		Measurements: []Measurement{HTTP()},
+	}, WithVantages("Airtel", "Idea", "Vodafone"), WithWorkers(2))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Consume one result to prove the stream was live, then cancel.
+	if _, ok := <-stream.Results(); !ok {
+		t.Fatal("stream closed before first result")
+	}
+	cancel()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case _, ok := <-stream.Results():
+			if !ok {
+				if stream.Err() != context.Canceled {
+					t.Fatalf("Err() = %v, want context.Canceled", stream.Err())
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream did not terminate after cancellation")
+		}
+	}
+}
+
+// TestStreamCancel covers the consumer-side abandon path: Cancel() must
+// wind the campaign down and still close the stream.
+func TestStreamCancel(t *testing.T) {
+	s := session(t)
+	stream, err := s.Run(context.Background(), Campaign{
+		Domains:      s.PBWDomains()[:64],
+		Measurements: []Measurement{HTTP()},
+	}, WithVantages("Airtel", "Idea", "Vodafone"), WithWorkers(2))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, ok := <-stream.Results(); !ok {
+		t.Fatal("stream closed before first result")
+	}
+	stream.Cancel()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case _, ok := <-stream.Results():
+			if !ok {
+				if stream.Err() != context.Canceled {
+					t.Fatalf("Err() = %v, want context.Canceled", stream.Err())
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream did not terminate after Cancel")
+		}
+	}
+}
+
+func TestMeasurementKinds(t *testing.T) {
+	want := []string{"dns", "http", "https", "tcp", "collateral"}
+	all := Measurements()
+	if len(all) != len(want) {
+		t.Fatalf("Measurements() = %d entries", len(all))
+	}
+	for i, m := range all {
+		if m.Kind() != want[i] {
+			t.Errorf("measurement %d kind = %q, want %q", i, m.Kind(), want[i])
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Result{
+		{Vantage: "Airtel", Measurement: "http", Domain: "porn-site-001.com", Blocked: true, Mechanism: "notification", Censor: "Airtel", Diff: 1},
+		{Vantage: "NKN", Measurement: "dns", Domain: "popular-0000.com", Addrs: []string{"199.1.2.3"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}

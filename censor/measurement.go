@@ -1,0 +1,185 @@
+package censor
+
+import (
+	"context"
+	"net/netip"
+)
+
+// Measurement is one detector of the paper's toolkit behind a uniform
+// interface. Implementations must be stateless: campaign workers share
+// one Measurement value across goroutines, each calling Measure with its
+// own private Vantage.
+type Measurement interface {
+	// Kind names the detector in Result records.
+	Kind() string
+	// Measure runs the detector for one domain from a vantage. The
+	// campaign runner observes ctx between domains; implementations with
+	// expensive internal steps may additionally check ctx at step
+	// boundaries (the DNS detector does, before its verification fetch).
+	Measure(ctx context.Context, v *Vantage, domain string) Result
+}
+
+// Measurements returns every built-in detector, in the canonical order
+// used when a campaign does not pick its own.
+func Measurements() []Measurement {
+	return []Measurement{DNS(), HTTP(), HTTPS(), TCP(), Collateral()}
+}
+
+// base pre-fills the uniform record fields.
+func base(m Measurement, v *Vantage, domain string) Result {
+	return Result{Vantage: v.name, Measurement: m.Kind(), Domain: domain}
+}
+
+func addrStrings(addrs []netip.Addr) []string {
+	if len(addrs) == 0 {
+		return nil
+	}
+	out := make([]string, len(addrs))
+	for i, a := range addrs {
+		out[i] = a.String()
+	}
+	return out
+}
+
+// ------------------------------------------------------------------- DNS
+
+// DNS returns the per-domain resolver-manipulation detector: the §3.2
+// heuristics (ground-truth overlap, in-AS answers, bogons, Tor-verified
+// shared hosting) applied to the vantage's default resolver.
+func DNS() Measurement { return dnsMeasurement{} }
+
+type dnsMeasurement struct{}
+
+func (dnsMeasurement) Kind() string { return "dns" }
+
+func (m dnsMeasurement) Measure(ctx context.Context, v *Vantage, domain string) Result {
+	res := base(m, v, domain)
+	p := v.probe
+	local, lerr := p.ResolveLocal(domain)
+	if lerr != nil {
+		res.Error = lerr.Error()
+		return res
+	}
+	res.Addrs = addrStrings(local)
+	tor, terr := p.ResolveViaTor(domain)
+	if terr != nil {
+		// No uncensored ground truth: dead domain, no verdict.
+		res.Error = terr.Error()
+		return res
+	}
+	torSet := make(map[netip.Addr]bool, len(tor))
+	for _, t := range tor {
+		torSet[t] = true
+	}
+	if ctx.Err() != nil {
+		res.Error = ctx.Err().Error()
+		return res
+	}
+	// Classify every answer, like the fleet scan: one poisoned record in
+	// an otherwise clean set still marks the domain manipulated. An
+	// unexplained divergent answer is always a suspect — the vantage's
+	// classifier Tor-verifies it once per address (shared hosting and CDN
+	// edges serve content, block hosts do not).
+	for _, a := range local {
+		if v.classifier.Manipulated(domain, a, torSet, true) {
+			res.Blocked = true
+			res.Mechanism = MechanismDNSPoisoning
+			break
+		}
+	}
+	return res
+}
+
+// ------------------------------------------------------------------ HTTP
+
+// HTTP returns the paper's own HTTP detection pipeline (§3.1/§3.4):
+// HTTP-diff against a Tor fetch with the 0.3 threshold, then verification
+// of everything over it by refetching and inspecting for censorship
+// evidence.
+func HTTP() Measurement { return httpMeasurement{} }
+
+type httpMeasurement struct{}
+
+func (httpMeasurement) Kind() string { return "http" }
+
+func (m httpMeasurement) Measure(ctx context.Context, v *Vantage, domain string) Result {
+	res := base(m, v, domain)
+	det := v.probe.DetectHTTP(domain)
+	res.Blocked = det.Blocked
+	res.Diff = det.Diff
+	res.Censor = det.SignatureISP
+	switch {
+	case det.Notification:
+		res.Mechanism = MechanismNotification
+	case det.Reset:
+		res.Mechanism = MechanismReset
+	case det.Blocked:
+		res.Mechanism = MechanismBlackhole
+	}
+	return res
+}
+
+// ----------------------------------------------------------------- HTTPS
+
+// HTTPS returns the SNI probe of the study: a real ClientHello carrying
+// the censored name on port 443. The paper's middleboxes inspect only
+// port 80, so the only HTTPS "censorship" is manipulated resolution.
+func HTTPS() Measurement { return httpsMeasurement{} }
+
+type httpsMeasurement struct{}
+
+func (httpsMeasurement) Kind() string { return "https" }
+
+func (m httpsMeasurement) Measure(ctx context.Context, v *Vantage, domain string) Result {
+	res := base(m, v, domain)
+	det := v.probe.DetectHTTPS(domain)
+	if det.Addr.IsValid() {
+		res.Addrs = []string{det.Addr.String()}
+	}
+	if det.DNSManipulated {
+		res.Blocked = true
+		res.Mechanism = MechanismDNSPoisoning
+	}
+	return res
+}
+
+// ------------------------------------------------------------------- TCP
+
+// TCP returns the §3.3 TCP/IP-filtering test: handshake works via Tor but
+// repeated direct attempts all fail. The paper never observed this in any
+// ISP; neither does the reproduction.
+func TCP() Measurement { return tcpMeasurement{} }
+
+type tcpMeasurement struct{}
+
+func (tcpMeasurement) Kind() string { return "tcp" }
+
+func (m tcpMeasurement) Measure(ctx context.Context, v *Vantage, domain string) Result {
+	res := base(m, v, domain)
+	if v.probe.DetectTCP(domain) {
+		res.Blocked = true
+		res.Mechanism = MechanismTCPFilter
+	}
+	return res
+}
+
+// ------------------------------------------------------------ Collateral
+
+// Collateral returns the §6.1 collateral-damage sweep: censorship
+// observed from a (supposedly clean) vantage, attributed to the
+// neighbouring ISP whose middlebox caused it — via notification
+// signatures for overt censors and the iterative tracer for covert ones.
+func Collateral() Measurement { return collateralMeasurement{} }
+
+type collateralMeasurement struct{}
+
+func (collateralMeasurement) Kind() string { return "collateral" }
+
+func (m collateralMeasurement) Measure(ctx context.Context, v *Vantage, domain string) Result {
+	res := base(m, v, domain)
+	f := v.probe.CollateralFor(domain)
+	res.Blocked = f.Censored
+	res.Mechanism = string(f.Mechanism)
+	res.Censor = f.Neighbor
+	return res
+}

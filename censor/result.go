@@ -1,0 +1,80 @@
+package censor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/probe"
+)
+
+// Mechanism values Result.Mechanism can carry, so consumers never
+// hardcode the wire strings.
+const (
+	MechanismNotification = string(probe.MechNotification)
+	MechanismReset        = string(probe.MechReset)
+	MechanismBlackhole    = string(probe.MechBlackhole)
+	MechanismDNSPoisoning = "dns-poisoning"
+	MechanismTCPFilter    = "tcp-filter"
+)
+
+// DiffThreshold is the paper's HTTP-diff verification threshold; Results
+// from the HTTP detector with Diff at or above it were individually
+// verified before Blocked was decided.
+const DiffThreshold = probe.DiffThreshold
+
+// Result is the uniform record every measurement produces — one JSONL
+// line per (vantage, measurement, domain). Suites, exporters and future
+// backends all consume this one shape.
+type Result struct {
+	// Vantage is the ISP the measurement ran from.
+	Vantage string `json:"vantage"`
+	// Measurement is the detector kind ("dns", "http", "https", "tcp",
+	// "collateral").
+	Measurement string `json:"measurement"`
+	// Domain is the measured website.
+	Domain string `json:"domain"`
+	// Blocked is the detector's verdict.
+	Blocked bool `json:"blocked"`
+	// Mechanism says how the censorship manifested ("notification",
+	// "rst", "blackhole", "dns-poisoning", "tcp-filter").
+	Mechanism string `json:"mechanism,omitempty"`
+	// Censor names the ISP the event was attributed to, where the
+	// detector attributes (notification signatures, collateral tracing).
+	Censor string `json:"censor,omitempty"`
+	// Diff is the HTTP-diff ratio against the uncensored fetch, for
+	// detectors that compute one.
+	Diff float64 `json:"diff,omitempty"`
+	// Addrs are resolved addresses, for DNS-flavoured detectors.
+	Addrs []string `json:"addrs,omitempty"`
+	// Error records a measurement-infrastructure failure (e.g. the domain
+	// is dead even via the uncensored path); Blocked is meaningless then.
+	Error string `json:"error,omitempty"`
+}
+
+// WriteJSONL writes results as JSON Lines: one deterministic, stable-order
+// object per line.
+func WriteJSONL(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	for i := range results {
+		if err := enc.Encode(&results[i]); err != nil {
+			return fmt.Errorf("censor: jsonl: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL decodes a JSON Lines stream produced by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Result, error) {
+	dec := json.NewDecoder(r)
+	var out []Result
+	for {
+		var res Result
+		if err := dec.Decode(&res); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("censor: jsonl: %w", err)
+		}
+		out = append(out, res)
+	}
+}

@@ -1,21 +1,31 @@
-// Command censorscan runs the paper's full evaluation against the
-// simulated Indian Internet and prints each table/figure in the same shape
-// the paper reports.
+// Command censorscan runs the paper's evaluation against the simulated
+// Indian Internet through the public censor API.
+//
+// The default mode prints each table/figure in the same shape the paper
+// reports. The -campaign mode instead fans the uniform detectors out
+// across vantage ISPs on a worker pool and streams one JSONL record per
+// (vantage, measurement, domain) to stdout — the raw-data shape the
+// toolkit's long-running deployments consume.
 //
 // Usage:
 //
 //	censorscan [-quick] [-only table1,table2,table3,figure1,figure2,figure5,section5]
 //	censorscan -only figure2 -series        # dump the full Figure 2 series
+//	censorscan -campaign -workers 4 -domains 100 > results.jsonl
+//	censorscan -campaign -isps MTNL,BSNL -measure dns,https
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/censor"
 	"repro/internal/experiments"
 )
 
@@ -23,23 +33,130 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced world (fast smoke run)")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	series := flag.Bool("series", false, "dump full per-website series for figures 2 and 5")
+	campaign := flag.Bool("campaign", false, "stream a JSONL measurement campaign instead of rendering tables")
+	workers := flag.Int("workers", 1, "campaign worker pool size (output is identical for any value)")
+	isps := flag.String("isps", "", "comma-separated vantage ISPs (default: the nine studied ISPs)")
+	measure := flag.String("measure", "", "comma-separated measurements: dns,http,https,tcp,collateral (default: all)")
+	domains := flag.Int("domains", 0, "cap the campaign to the first N PBW domains (0 = all)")
+	timeout := flag.Duration("timeout", 3*time.Second, "per-probe network timeout")
+	seed := flag.Int64("seed", 0, "override the world seed (0 = calibrated default)")
 	flag.Parse()
 
-	opt := experiments.DefaultOptions()
+	ctx := context.Background()
+
+	// Mode-specific flags are rejected up front (table mode sweeps the
+	// paper's fixed ISP lists; campaign mode has no tables to filter),
+	// and before the world is built.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	modeFlags := []struct {
+		name     string
+		campaign bool // flag belongs to campaign mode
+	}{
+		{"workers", true}, {"isps", true}, {"measure", true}, {"domains", true},
+		{"only", false}, {"series", false},
+	}
+	for _, f := range modeFlags {
+		if set[f.name] && f.campaign != *campaign {
+			hint := "requires -campaign"
+			if !f.campaign {
+				hint = "is a table-mode flag; drop -campaign"
+			}
+			fmt.Fprintf(os.Stderr, "censorscan: -%s %s\n", f.name, hint)
+			os.Exit(2)
+		}
+	}
+	measurements, err := pickMeasurements(*measure)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
+		os.Exit(2)
+	}
+
+	opts := []censor.Option{censor.WithScale(censor.ScalePaper), censor.WithTimeout(*timeout)}
 	if *quick {
+		opts[0] = censor.WithScale(censor.ScaleSmall)
+	}
+	if *seed != 0 {
+		opts = append(opts, censor.WithSeed(*seed))
+	}
+	if *isps != "" {
+		opts = append(opts, censor.WithVantages(splitList(*isps)...))
+	}
+
+	start := time.Now()
+	sess, err := censor.NewSession(ctx, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "world built in %v (%v)\n", time.Since(start), sess.World().Net)
+
+	if *campaign {
+		// Turn Ctrl-C into graceful stream cancellation — installed only
+		// now, so the build above and table mode below keep the default
+		// kill-on-SIGINT (neither observes a context).
+		ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+		defer stop()
+		if err := runCampaign(ctx, sess, *workers, measurements, *domains); err != nil {
+			fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runTables(sess, *quick, *only, *series)
+}
+
+// pickMeasurements resolves -measure kinds (nil = campaign default: all).
+func pickMeasurements(measure string) ([]censor.Measurement, error) {
+	if measure == "" {
+		return nil, nil
+	}
+	byKind := map[string]censor.Measurement{}
+	for _, m := range censor.Measurements() {
+		byKind[m.Kind()] = m
+	}
+	var out []censor.Measurement
+	for _, k := range splitList(measure) {
+		m, ok := byKind[k]
+		if !ok {
+			return nil, fmt.Errorf("unknown measurement %q", k)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// runCampaign streams the uniform-record campaign to stdout.
+func runCampaign(ctx context.Context, sess *censor.Session, workers int, measurements []censor.Measurement, domainCap int) error {
+	pbw := sess.PBWDomains()
+	if domainCap > 0 && domainCap < len(pbw) {
+		pbw = pbw[:domainCap]
+	}
+	stream, err := sess.Run(ctx, censor.Campaign{
+		Domains:      pbw,
+		Measurements: measurements,
+	}, censor.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
+	return stream.WriteJSONL(os.Stdout)
+}
+
+// runTables renders the paper's tables and figures via the suite.
+func runTables(sess *censor.Session, quick bool, only string, series bool) {
+	opt := experiments.DefaultOptions()
+	if quick {
 		opt = experiments.QuickOptions()
 	}
+	s := experiments.NewSuiteWith(sess, opt)
+
 	want := map[string]bool{}
-	if *only != "" {
-		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+	if only != "" {
+		for _, k := range splitList(only) {
+			want[k] = true
 		}
 	}
 	run := func(name string) bool { return len(want) == 0 || want[name] }
-
-	start := time.Now()
-	s := experiments.NewSuite(opt)
-	fmt.Fprintf(os.Stderr, "world built in %v (%v)\n", time.Since(start), s.World.Net)
 
 	if run("table1") {
 		stage(func() { fmt.Print(experiments.RenderTable1(s.Table1(experiments.OONITargets))) })
@@ -51,7 +168,7 @@ func main() {
 		stage(func() {
 			rows := s.Figure5()
 			fmt.Print(experiments.RenderFigure5(rows))
-			if *series {
+			if series {
 				dumpSeries(rows)
 			}
 		})
@@ -60,7 +177,7 @@ func main() {
 		stage(func() {
 			rows := s.Figure2()
 			fmt.Print(experiments.RenderFigure2(rows))
-			if *series {
+			if series {
 				for _, r := range rows {
 					fmt.Printf("# %s series (domain, %% of poisoned resolvers)\n", r.ISP)
 					printSeries(r.Scan.Series)
@@ -88,6 +205,16 @@ func main() {
 	if run("section5") {
 		stage(func() { fmt.Print(experiments.RenderSection5(s.Section5())) })
 	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 func stage(fn func()) {

@@ -8,12 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/censor"
 	"repro/internal/anticensor"
-	"repro/internal/ispnet"
-	"repro/internal/probe"
 	"repro/internal/websim"
 )
 
@@ -22,15 +23,21 @@ func main() {
 	n := flag.Int("n", 3, "blocked domains per ISP to attack")
 	flag.Parse()
 
-	cfg := ispnet.DefaultConfig()
+	scale := censor.ScalePaper
 	if *quick {
-		cfg = ispnet.SmallConfig()
+		scale = censor.ScaleSmall
 	}
-	w := ispnet.NewWorld(cfg)
+	sess, err := censor.NewSession(context.Background(), censor.WithScale(scale))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evade: %v\n", err)
+		os.Exit(1)
+	}
+	w := sess.World()
 
 	for _, name := range []string{"Airtel", "Idea", "Vodafone", "Jio"} {
 		isp := w.ISP(name)
-		p := probe.New(w, isp)
+		v := censor.MustVantage(sess, name)
+		p := v.Probe()
 		var blocked []string
 		for _, d := range isp.HTTPList {
 			site, ok := w.Catalog.Site(d)
@@ -64,7 +71,8 @@ func main() {
 
 	for _, name := range []string{"MTNL", "BSNL"} {
 		isp := w.ISP(name)
-		p := probe.New(w, isp)
+		v := censor.MustVantage(sess, name)
+		p := v.Probe()
 		var victim string
 		for _, d := range isp.DNSList {
 			site, ok := w.Catalog.Site(d)

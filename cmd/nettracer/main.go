@@ -10,13 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/censor"
 	"repro/internal/experiments"
-	"repro/internal/ispnet"
 	"repro/internal/probe"
 	"repro/internal/websim"
 )
@@ -26,16 +27,18 @@ func main() {
 	quick := flag.Bool("quick", true, "use the reduced world")
 	flag.Parse()
 
-	cfg := ispnet.DefaultConfig()
+	scale := censor.ScalePaper
 	if *quick {
-		cfg = ispnet.SmallConfig()
+		scale = censor.ScaleSmall
 	}
-	w := ispnet.NewWorld(cfg)
-	isp := w.ISP(*ispName)
-	if isp == nil {
-		fmt.Fprintf(os.Stderr, "unknown ISP %q\n", *ispName)
+	sess, err := censor.NewSession(context.Background(),
+		censor.WithScale(scale), censor.WithVantages(*ispName, "MTNL"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nettracer: %v\n", err)
 		os.Exit(1)
 	}
+	w := sess.World()
+	isp := w.ISP(*ispName)
 
 	// Find a censored (domain, destination) by probing the ISP's own
 	// blocked list against site addresses (measurement-only knowledge

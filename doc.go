@@ -6,7 +6,9 @@
 // techniques of §5.
 //
 // The root package holds only the benchmark harness (bench_test.go), one
-// benchmark per table and figure in the paper's evaluation. The library
-// lives under internal/ with internal/core as the public façade; see
-// README.md, DESIGN.md and EXPERIMENTS.md.
+// benchmark per table and figure in the paper's evaluation. The public
+// API is the top-level censor package — a context-aware measurement
+// session with concurrent, deterministic campaigns — with the library
+// underneath in internal/ (internal/core is a deprecated alias shim).
+// See README.md for a quickstart.
 package repro

@@ -3,22 +3,34 @@
 // all potentially blocked websites through each, apply the paper's
 // manipulation heuristics, and print the Figure 2 coverage/consistency
 // metrics plus the tracer proof that this is poisoning, not injection.
+// A closing campaign runs the uniform per-domain DNS detector from both
+// vantages in parallel for the JSONL-shaped view of the same censorship.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"time"
 
-	"repro/internal/core"
+	"repro/censor"
 	"repro/internal/probe"
 )
 
 func main() {
-	w := core.NewWorld(core.SmallWorldConfig())
+	ctx := context.Background()
+	sess, err := censor.NewSession(ctx,
+		censor.WithScale(censor.ScaleSmall), censor.WithVantages("MTNL", "BSNL"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dns_poisoning: %v\n", err)
+		os.Exit(1)
+	}
+	w := sess.World()
 
 	for _, name := range []string{"MTNL", "BSNL"} {
 		isp := w.ISP(name)
-		p := core.NewProbe(w, name)
+		v := censor.MustVantage(sess, name)
+		p := v.Probe()
 
 		control := w.Catalog.AlexaDomains()[0]
 		resolvers := p.DiscoverResolvers(control)
@@ -45,6 +57,26 @@ func main() {
 		fmt.Println()
 	}
 
-	fmt.Println("Evasion: any non-poisoned resolver bypasses this entirely (§5);")
+	// The same finding through the uniform API: the per-domain DNS
+	// detector against each ISP's default resolver, both vantages in
+	// parallel, stable output order.
+	stream, err := sess.Run(ctx, censor.Campaign{
+		Domains:      sess.PBWDomains()[:40],
+		Measurements: []censor.Measurement{censor.DNS()},
+	}, censor.WithWorkers(2))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dns_poisoning: %v\n", err)
+		os.Exit(1)
+	}
+	poisoned := map[string]int{}
+	for res := range stream.Results() {
+		if res.Blocked {
+			poisoned[res.Vantage]++
+		}
+	}
+	fmt.Printf("campaign over the first 40 PBWs: default resolver poisons %d (MTNL) / %d (BSNL)\n",
+		poisoned["MTNL"], poisoned["BSNL"])
+
+	fmt.Println("\nEvasion: any non-poisoned resolver bypasses this entirely (§5);")
 	fmt.Println("resolve via the public resolver at the control vantage instead.")
 }

@@ -5,17 +5,24 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"strings"
 
+	"repro/censor"
 	"repro/internal/anticensor"
-	"repro/internal/core"
 	"repro/internal/middlebox"
 	"repro/internal/websim"
 )
 
 func main() {
-	w := core.NewWorld(core.SmallWorldConfig())
+	sess, err := censor.NewSession(context.Background(), censor.WithScale(censor.ScaleSmall))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evasion: %v\n", err)
+		os.Exit(1)
+	}
+	w := sess.World()
 
 	demos := []struct {
 		isp  string
@@ -31,7 +38,8 @@ func main() {
 
 	for _, demo := range demos {
 		isp := w.ISP(demo.isp)
-		p := core.NewProbe(w, demo.isp)
+		v := censor.MustVantage(sess, demo.isp)
+		p := v.Probe()
 		var domain string
 		for _, d := range isp.HTTPList {
 			site, ok := w.Catalog.Site(d)
@@ -77,7 +85,8 @@ func main() {
 	}
 
 	// And the full matrix on one ISP for completeness.
-	p := core.NewProbe(w, "Idea")
+	v := censor.MustVantage(sess, "Idea")
+	p := v.Probe()
 	isp := w.ISP("Idea")
 	var blocked []string
 	for _, d := range isp.HTTPList {

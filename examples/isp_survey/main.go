@@ -1,19 +1,27 @@
 // ISP survey: the condensed nine-ISP study — OONI accuracy (Table 1), HTTP
 // filtering coverage and middlebox types (Table 2), DNS censorship
 // (Figure 2), collateral damage (Table 3), and the evasion matrix (§5) —
-// on the reduced world so it completes in seconds. Run cmd/censorscan
-// without -quick for the paper-scale numbers.
+// on the reduced world so it completes in seconds. The suite runs on a
+// censor session; run cmd/censorscan without -quick for the paper-scale
+// numbers, or with -campaign for the raw JSONL records.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
-	"repro/internal/core"
+	"repro/censor"
 	"repro/internal/experiments"
 )
 
 func main() {
-	s := core.NewSuite(core.QuickSuiteOptions())
+	sess, err := censor.NewSession(context.Background(), censor.WithScale(censor.ScaleSmall))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "isp_survey: %v\n", err)
+		os.Exit(1)
+	}
+	s := experiments.NewSuiteWith(sess, experiments.QuickOptions())
 
 	fmt.Print(experiments.RenderTable1(s.Table1(experiments.OONITargets)))
 	fmt.Println()

@@ -6,21 +6,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
-	"repro/internal/core"
+	"repro/censor"
 	"repro/internal/experiments"
 	"repro/internal/websim"
 )
 
 func main() {
-	opt := core.QuickSuiteOptions()
-	s := core.NewSuite(opt)
+	sess, err := censor.NewSession(context.Background(), censor.WithScale(censor.ScaleSmall))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "middlebox_anatomy: %v\n", err)
+		os.Exit(1)
+	}
+	s := experiments.NewSuiteWith(sess, experiments.QuickOptions())
 	w := s.World
 
 	// Trigger-localization battery in Idea (interceptive, overt).
 	isp := w.ISP("Idea")
-	p := core.NewProbe(w, "Idea")
+	v := censor.MustVantage(sess, "Idea")
+	p := v.Probe()
 	var domain string
 	var site *websim.Site
 	for _, d := range isp.HTTPList {

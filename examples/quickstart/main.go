@@ -1,43 +1,68 @@
-// Quickstart: build the simulated Indian Internet, point a probe at one
-// ISP, and detect censorship of a handful of potentially blocked websites
-// the way the paper's own scripts do — HTTP diff against a Tor fetch, then
-// verification of everything over the 0.3 threshold.
+// Quickstart: build the simulated Indian Internet, run a small censorship
+// campaign through the public censor API — the paper's HTTP detection
+// pipeline from one ISP vantage — and stream the uniform results as they
+// arrive.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
-	"repro/internal/core"
+	"repro/censor"
 )
 
 func main() {
-	// A reduced world keeps the quickstart fast; swap in
-	// core.DefaultWorldConfig() for the full 1200-site population.
-	w := core.NewWorld(core.SmallWorldConfig())
-	fmt.Printf("world: %v\n\n", w.Net)
+	ctx := context.Background()
 
-	p := core.NewProbe(w, "Idea")
+	// A reduced world keeps the quickstart fast; use censor.ScalePaper
+	// for the full 1200-site population.
+	sess, err := censor.NewSession(ctx, censor.WithScale(censor.ScaleSmall))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("world: %v\n\n", sess.World().Net)
+
 	fmt.Println("Scanning the first 25 potentially blocked websites from inside Idea:")
+	stream, err := sess.Run(ctx, censor.Campaign{
+		Domains:      sess.PBWDomains()[:25],
+		Measurements: []censor.Measurement{censor.HTTP()},
+	}, censor.WithVantages("Idea"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
 	blocked := 0
-	for _, domain := range w.Catalog.PBWDomains()[:25] {
-		det := p.DetectHTTP(domain)
+	for res := range stream.Results() {
 		switch {
-		case det.Blocked && det.Notification:
-			fmt.Printf("  BLOCKED   %-28s (notification from %s)\n", domain, det.SignatureISP)
+		case res.Blocked && res.Mechanism == censor.MechanismNotification:
+			fmt.Printf("  BLOCKED   %-28s (notification from %s)\n", res.Domain, res.Censor)
 			blocked++
-		case det.Blocked:
-			fmt.Printf("  BLOCKED   %-28s (connection killed)\n", domain)
+		case res.Blocked:
+			fmt.Printf("  BLOCKED   %-28s (%s)\n", res.Domain, res.Mechanism)
 			blocked++
-		case det.OverThreshold:
-			fmt.Printf("  suspect   %-28s (diff %.2f, cleared by manual check)\n", domain, det.Diff)
+		case res.Diff >= censor.DiffThreshold:
+			fmt.Printf("  suspect   %-28s (diff %.2f, cleared by manual check)\n", res.Domain, res.Diff)
 		default:
-			fmt.Printf("  ok        %-28s (diff %.2f)\n", domain, det.Diff)
+			fmt.Printf("  ok        %-28s (diff %.2f)\n", res.Domain, res.Diff)
 		}
+	}
+	if err := stream.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
 	}
 	fmt.Printf("\n%d of 25 confirmed blocked.\n", blocked)
 
-	// The same client never sees TCP/IP filtering — like the paper.
-	if !p.DetectTCP(w.Catalog.PBWDomains()[0]) {
+	// The same vantage never sees TCP/IP filtering — like the paper.
+	results, err := sess.Measure(ctx, "Idea", censor.TCP(), sess.PBWDomains()[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+	if !results[0].Blocked {
 		fmt.Println("TCP/IP filtering: none detected (matches §3.3).")
+	} else {
+		fmt.Println("TCP/IP filtering detected — unexpected for this world.")
 	}
 }

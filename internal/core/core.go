@@ -1,14 +1,18 @@
-// Package core is the public façade of the reproduction: it re-exports the
-// world builder, the probe toolkit, and the experiment suite behind a
-// small, stable API, so downstream users (the cmd tools and examples) do
-// not need to know the internal package layout.
+// Package core was the public façade of the reproduction: a file of type
+// aliases over the internal packages.
 //
-// A typical session:
+// Deprecated: use the top-level censor package instead. It replaces this
+// façade with a context-aware Session, functional options, a uniform
+// Measurement interface over every detector, and a concurrent campaign
+// runner with deterministic JSONL output. The equivalent of the old
+// façade flow:
 //
-//	w := core.NewWorld(core.DefaultWorldConfig())
-//	p := core.NewProbe(w, "Airtel")
-//	det := p.DetectHTTP("porn-site-001.com")
-//	fmt.Println(det.Blocked)
+//	sess, _ := censor.NewSession(ctx, censor.WithScale(censor.ScaleSmall))
+//	results, _ := sess.Measure(ctx, "Airtel", censor.HTTP(), "porn-site-001.com")
+//	fmt.Println(results[0].Blocked)
+//
+// The aliases below remain for one release so existing callers keep
+// compiling; they will be removed together with this package.
 package core
 
 import (
@@ -43,29 +47,46 @@ type (
 
 // DefaultWorldConfig is the paper-scale world (1200 PBWs, Alexa 1000, 40
 // vantage points, the nine ISPs plus TATA).
+//
+// Deprecated: use censor.NewSession with censor.WithScale(censor.ScalePaper).
 func DefaultWorldConfig() WorldConfig { return ispnet.DefaultConfig() }
 
 // SmallWorldConfig is a reduced world for experimentation.
+//
+// Deprecated: use censor.NewSession with censor.WithScale(censor.ScaleSmall).
 func SmallWorldConfig() WorldConfig { return ispnet.SmallConfig() }
 
 // NewWorld builds a simulated Internet.
+//
+// Deprecated: censor.Session owns world construction; use Session.World
+// for direct access.
 func NewWorld(cfg WorldConfig) *World { return ispnet.NewWorld(cfg) }
 
 // NewProbe attaches a measurement probe to an ISP's client.
+//
+// Deprecated: use censor.Session.Vantage and Vantage.Probe.
 func NewProbe(w *World, ispName string) *Probe {
 	return probe.New(w, w.ISP(ispName))
 }
 
 // NewSuite builds an experiment suite (its own world included).
+//
+// Deprecated: use experiments.NewSuiteWith over a censor.Session.
 func NewSuite(opt SuiteOptions) *Suite { return experiments.NewSuite(opt) }
 
 // DefaultSuiteOptions is the paper-scale evaluation configuration.
+//
+// Deprecated: use experiments.DefaultOptions.
 func DefaultSuiteOptions() SuiteOptions { return experiments.DefaultOptions() }
 
 // QuickSuiteOptions is the fast smoke configuration.
+//
+// Deprecated: use experiments.QuickOptions.
 func QuickSuiteOptions() SuiteOptions { return experiments.QuickOptions() }
 
 // Evade runs one anti-censorship technique for a domain.
+//
+// Deprecated: use anticensor.Evade with a censor vantage probe.
 func Evade(p *Probe, t EvasionTechnique, domain string) bool {
 	return anticensor.Evade(p, t, domain).Success
 }

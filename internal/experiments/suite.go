@@ -4,7 +4,7 @@
 // has a generator returning structured results and a renderer printing the
 // same rows/series the paper reports.
 //
-// Experiment index (see DESIGN.md §3):
+// Experiment index:
 //
 //	Table 1   — OONI precision/recall per ISP        (Table1)
 //	Figure 1  — Iterative Network Tracer trace        (Figure1)
@@ -18,8 +18,11 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"time"
 
+	"repro/censor"
 	"repro/internal/ispnet"
 	"repro/internal/probe"
 )
@@ -66,20 +69,43 @@ func QuickOptions() Options {
 	}
 }
 
-// Suite owns one world and caches expensive intermediate results so that
-// Table 2 and Figure 5 (same scan) are computed once.
+// Suite runs the paper's evaluation on a censor.Session's world and
+// caches expensive intermediate results so that Table 2 and Figure 5
+// (same scan) are computed once.
 type Suite struct {
-	Opt   Options
-	World *ispnet.World
+	Opt     Options
+	Session *censor.Session
+	World   *ispnet.World
 
 	coverage map[string]*probe.CoverageResult
 }
 
-// NewSuite builds the world.
+// NewSuite builds a measurement session (and with it the world). The
+// session's vantage set is the config's own profiles, so custom worlds
+// that drop a study ISP still construct (their suite runs will fail only
+// on the experiments that need the missing ISP).
 func NewSuite(opt Options) *Suite {
+	names := make([]string, 0, len(opt.World.Profiles))
+	for i := range opt.World.Profiles {
+		names = append(names, opt.World.Profiles[i].Name)
+	}
+	sess, err := censor.NewSession(context.Background(),
+		censor.WithWorldConfig(opt.World), censor.WithVantages(names...))
+	if err != nil {
+		// Only reachable with a config whose profile list is empty.
+		panic(fmt.Sprintf("experiments: session: %v", err))
+	}
+	return NewSuiteWith(sess, opt)
+}
+
+// NewSuiteWith runs the evaluation on an existing session (the cmd tools
+// build one from flags). opt.World is ignored in favour of the session's.
+func NewSuiteWith(sess *censor.Session, opt Options) *Suite {
+	opt.World = sess.WorldConfig()
 	return &Suite{
 		Opt:      opt,
-		World:    ispnet.NewWorld(opt.World),
+		Session:  sess,
+		World:    sess.World(),
 		coverage: make(map[string]*probe.CoverageResult),
 	}
 }
@@ -96,9 +122,13 @@ var DNSCensors = []string{"MTNL", "BSNL"}
 // CleanISPs are the Table 3 victims.
 var CleanISPs = []string{"NKN", "Sify", "Siti", "MTNL", "BSNL"}
 
-// probeFor builds a probe for an ISP.
+// probeFor builds a probe for an ISP via the session's vantage.
 func (s *Suite) probeFor(name string) *probe.Probe {
-	return probe.New(s.World, s.World.ISP(name))
+	v, err := s.Session.Vantage(name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return v.Probe()
 }
 
 // coverageFor runs (or returns the cached) Table 2 scan for one ISP.

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/censor"
 	"repro/internal/anticensor"
 	"repro/internal/ooni"
 	"repro/internal/probe"
@@ -151,13 +153,24 @@ type Table3Row struct {
 	Result *probe.CollateralResult
 }
 
-// Table3 sweeps the PBW list from every clean ISP.
+// Table3 sweeps the PBW list from every clean ISP through the censor
+// package's uniform collateral measurement, aggregating the per-domain
+// records into the paper's rows.
 func (s *Suite) Table3() []Table3Row {
 	domains := s.World.Catalog.PBWDomains()
 	var rows []Table3Row
 	for _, name := range CleanISPs {
-		p := s.probeFor(name)
-		rows = append(rows, Table3Row{ISP: name, Result: p.MeasureCollateral(domains)})
+		results, err := s.Session.Measure(context.Background(), name, censor.Collateral(), domains...)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: table 3: %v", err))
+		}
+		agg := probe.NewCollateralResult(name)
+		for _, r := range results {
+			if r.Blocked {
+				agg.Add(r.Domain, r.Censor)
+			}
+		}
+		rows = append(rows, Table3Row{ISP: name, Result: agg.Finalize()})
 	}
 	return rows
 }

@@ -19,53 +19,29 @@ type CollateralResult struct {
 	Neighbors []string
 }
 
-// MeasureCollateral sweeps the PBW list from a (supposedly clean) ISP's
-// client, and attributes every censorship event to a neighbouring ISP
-// using the §6.1 heuristics: notification-content signatures where the
-// censor is overt, and — for covert resets — the AS of the visible
-// traceroute hops around the anonymized injecting hop.
-func (p *Probe) MeasureCollateral(domains []string) *CollateralResult {
-	res := &CollateralResult{
-		ISP:         p.ISP.Name,
+// NewCollateralResult returns an empty accumulator for one ISP.
+func NewCollateralResult(isp string) *CollateralResult {
+	return &CollateralResult{
+		ISP:         isp,
 		ByNeighbor:  make(map[string]int),
 		Attribution: make(map[string]string),
 	}
-	for _, d := range domains {
-		// Resolve via the uncensored path: in MTNL/BSNL the default
-		// resolver is itself poisoned, and this sweep measures the HTTP
-		// path. Up to four fetches per domain: wiretap boxes lose ~30% of
-		// races, and the paper's data came from long-term repetition.
-		addrs, err := p.ResolveViaTor(d)
-		if err != nil {
-			continue
-		}
-		var fr *FetchResult
-		censored := false
-		for attempt := 0; attempt < 4 && !censored; attempt++ {
-			fr = p.FetchDirectAt(d, addrs[0])
-			censored = fr.Notification || (fr.Connected && fr.Reset && len(fr.Responses) == 0) ||
-				(fr.Connected && len(fr.Responses) == 0 && !fr.PeerClosed) // blackholed
-		}
-		if fr == nil || !censored {
-			continue
-		}
-		neighbor := fr.SignatureISP
-		if neighbor == "" {
-			// Covert censor: locate the anonymized injecting hop and read
-			// the AS of its visible neighbours.
-			neighbor = p.attributeCovert(d)
-		}
-		if neighbor == "" {
-			neighbor = "unattributed"
-		}
-		if neighbor == p.ISP.Name {
-			// Own infrastructure, not collateral (does not happen for the
-			// paper's clean ISPs; kept for robustness).
-			continue
-		}
-		res.Attribution[d] = neighbor
-		res.ByNeighbor[neighbor]++
+}
+
+// Add records one attributed censorship event. Events attributed to the
+// measuring ISP itself are dropped: own infrastructure is not collateral
+// (does not happen for the paper's clean ISPs; kept for robustness).
+func (res *CollateralResult) Add(domain, neighbor string) {
+	if neighbor == "" || neighbor == res.ISP {
+		return
 	}
+	res.Attribution[domain] = neighbor
+	res.ByNeighbor[neighbor]++
+}
+
+// Finalize sorts the neighbour list by descending count, then name.
+func (res *CollateralResult) Finalize() *CollateralResult {
+	res.Neighbors = res.Neighbors[:0]
 	for n := range res.ByNeighbor {
 		res.Neighbors = append(res.Neighbors, n)
 	}
@@ -76,6 +52,65 @@ func (p *Probe) MeasureCollateral(domains []string) *CollateralResult {
 		return res.Neighbors[i] < res.Neighbors[j]
 	})
 	return res
+}
+
+// CollateralFinding is the per-domain outcome of the §6.1 collateral sweep.
+type CollateralFinding struct {
+	Domain   string
+	Censored bool
+	// Mechanism says what killed the fetch when censored.
+	Mechanism Mechanism
+	// Neighbor is the attributed censor ("unattributed" when the covert
+	// tracer could not name one, "" when not censored).
+	Neighbor string
+}
+
+// CollateralFor measures one domain from the (supposedly clean) ISP's
+// client and attributes any censorship event to a neighbouring ISP using
+// the §6.1 heuristics: notification-content signatures where the censor is
+// overt, and — for covert resets — the AS of the visible traceroute hops
+// around the anonymized injecting hop.
+func (p *Probe) CollateralFor(domain string) CollateralFinding {
+	f := CollateralFinding{Domain: domain}
+	// Resolve via the uncensored path: in MTNL/BSNL the default resolver
+	// is itself poisoned, and this sweep measures the HTTP path. Several
+	// fetches per domain: wiretap boxes lose ~30% of races, and the
+	// paper's data came from long-term repetition.
+	addrs, err := p.ResolveViaTor(domain)
+	if err != nil {
+		return f
+	}
+	var fr *FetchResult
+	for attempt := 0; attempt < p.attempts(4) && !f.Censored; attempt++ {
+		fr = p.FetchDirectAt(domain, addrs[0])
+		f.Censored, f.Mechanism = fr.CensorVerdict()
+	}
+	if fr == nil || !f.Censored {
+		return f
+	}
+	neighbor := fr.SignatureISP
+	if neighbor == "" {
+		// Covert censor: locate the anonymized injecting hop and read
+		// the AS of its visible neighbours.
+		neighbor = p.attributeCovert(domain)
+	}
+	if neighbor == "" {
+		neighbor = "unattributed"
+	}
+	f.Neighbor = neighbor
+	return f
+}
+
+// MeasureCollateral sweeps the PBW list from a clean ISP's client and
+// aggregates the per-domain findings into the Table 3 row.
+func (p *Probe) MeasureCollateral(domains []string) *CollateralResult {
+	res := NewCollateralResult(p.ISP.Name)
+	for _, d := range domains {
+		if f := p.CollateralFor(d); f.Censored {
+			res.Add(d, f.Neighbor)
+		}
+	}
+	return res.Finalize()
 }
 
 // attributeCovert traces toward the censored domain and attributes the

@@ -1,7 +1,6 @@
 package probe
 
 import (
-	"bytes"
 	"net/netip"
 	"time"
 
@@ -79,10 +78,8 @@ func scanPath(ep *ispnet.Endpoint, dst netip.Addr, hosts []string, attempts int,
 				if reset && len(stream) == 0 {
 					blocked = true // covert RST
 				}
-				for _, sig := range KnownSignatures {
-					if len(stream) > 0 && bytes.Contains(stream, []byte(sig.Marker)) {
-						blocked = true
-					}
+				if _, ok := MatchSignature(stream); ok {
+					blocked = true
 				}
 				// Release the dead/half-closed connection (an overt
 				// interceptive box leaves the client in CLOSE-WAIT with

@@ -61,6 +61,57 @@ func (p *Probe) DiscoverResolvers(controlDomain string) []netip.Addr {
 	return found
 }
 
+// AnswerClassifier applies the §3.2 manipulated-answer heuristics to DNS
+// answers, caching the Tor-fetch verification of suspect addresses so a
+// fleet scan verifies each one once. One classifier serves one probe.
+type AnswerClassifier struct {
+	p         *Probe
+	clientASN int
+	verified  map[netip.Addr]bool // Tor-verified shared-hosting addrs
+	checked   map[netip.Addr]bool
+}
+
+// NewAnswerClassifier builds a classifier for the probe's client vantage.
+func (p *Probe) NewAnswerClassifier() *AnswerClassifier {
+	return &AnswerClassifier{
+		p:         p,
+		clientASN: p.World.Net.ASNOf(p.ISP.Client.Addr()),
+		verified:  map[netip.Addr]bool{},
+		checked:   map[netip.Addr]bool{},
+	}
+}
+
+// Manipulated decides whether an answer for domain is manipulated:
+//
+//  1. answers overlapping torSet (the Tor-resolved ground truth) are
+//     clean;
+//  2. answers inside the client's own AS are manipulated (no PBW is
+//     hosted there);
+//  3. bogon answers are manipulated;
+//  4. when suspect is true (frequency analysis in fleet scans, or a
+//     single unexplained divergent answer), the address is cleared only
+//     if fetching the domain from it via Tor actually serves content
+//     (shared hosting / CDN edges do; block hosts do not).
+func (c *AnswerClassifier) Manipulated(domain string, addr netip.Addr, torSet map[netip.Addr]bool, suspect bool) bool {
+	if torSet[addr] {
+		return false
+	}
+	switch {
+	case c.p.World.Net.ASNOf(addr) == c.clientASN && c.clientASN != 0:
+		return true // heuristic 1 of §3.2
+	case IsBogon(addr):
+		return true // heuristic 2
+	case suspect:
+		if !c.checked[addr] {
+			c.checked[addr] = true
+			fr := GetFrom(c.p.World.TorExit, addr, domain, nil, c.p.Timeout)
+			c.verified[addr] = len(fr.Responses) > 0 && fr.Responses[0].StatusCode == 200
+		}
+		return !c.verified[addr]
+	}
+	return false
+}
+
 // DNSScanResult summarizes the censorship scan of one ISP's resolvers.
 type DNSScanResult struct {
 	Resolvers []netip.Addr
@@ -108,9 +159,7 @@ func (p *Probe) ScanResolvers(resolvers []netip.Addr, domains []string) *DNSScan
 		}
 		torSets[d] = set
 	}
-	clientASN := p.World.Net.ASNOf(p.ISP.Client.Addr())
-	verified := map[netip.Addr]bool{} // Tor-verified shared-hosting addrs
-	checked := map[netip.Addr]bool{}
+	classifier := p.NewAnswerClassifier()
 
 	type answer struct {
 		domain string
@@ -137,25 +186,7 @@ func (p *Probe) ScanResolvers(resolvers []netip.Addr, domains []string) *DNSScan
 		}
 		var blocked []string
 		for _, a := range answers {
-			if torSets[a.domain][a.addr] {
-				continue // overlap with ground truth: clean
-			}
-			manipulated := false
-			switch {
-			case p.World.Net.ASNOf(a.addr) == clientASN && clientASN != 0:
-				manipulated = true // heuristic 1 of §3.2
-			case IsBogon(a.addr):
-				manipulated = true // heuristic 2
-			case freq[a.addr] > 3:
-				// Frequency suspect: verify once via Tor HTTP fetch.
-				if !checked[a.addr] {
-					checked[a.addr] = true
-					fr := GetFrom(p.World.TorExit, a.addr, a.domain, nil, p.Timeout)
-					verified[a.addr] = len(fr.Responses) > 0 && fr.Responses[0].StatusCode == 200
-				}
-				manipulated = !verified[a.addr]
-			}
-			if manipulated {
+			if classifier.Manipulated(a.domain, a.addr, torSets[a.domain], freq[a.addr] > 3) {
 				blocked = append(blocked, a.domain)
 			}
 		}

@@ -1,7 +1,6 @@
 package probe
 
 import (
-	"bytes"
 	"net/netip"
 	"time"
 
@@ -58,21 +57,16 @@ func (p *Probe) DetectHTTP(domain string) HTTPDetection {
 	}
 	// Manual verification: retry and look for censorship evidence rather
 	// than content drift (the step OONI skips, per §6.2).
-	for attempt := 0; attempt < 3; attempt++ {
+	for attempt := 0; attempt < p.attempts(3); attempt++ {
 		r, err := p.FetchDirect(domain)
 		if err != nil {
 			continue
 		}
-		switch {
-		case r.Notification:
-			det.Blocked, det.Notification, det.SignatureISP = true, true, r.SignatureISP
-		case r.Reset && len(r.Responses) == 0:
-			det.Blocked, det.Reset = true, true
-		case r.Connected && len(r.Responses) == 0 && !r.PeerClosed:
-			// Hung fetch while Tor works: blackholed.
+		if censored, mech := r.CensorVerdict(); censored {
 			det.Blocked = true
-		}
-		if det.Blocked {
+			det.Notification = mech == MechNotification
+			det.SignatureISP = r.SignatureISP
+			det.Reset = mech == MechReset
 			return det
 		}
 	}
@@ -135,10 +129,8 @@ func censoredOutcome(c *tcpsim.Conn) bool {
 		return true
 	}
 	if c.PeerClosed() && len(c.Stream()) > 0 {
-		for _, sig := range KnownSignatures {
-			if bytes.Contains(c.Stream(), []byte(sig.Marker)) {
-				return true
-			}
+		if _, ok := MatchSignature(c.Stream()); ok {
+			return true
 		}
 		// FIN-bearing response without any known marker still counts when
 		// it is not a well-formed 404/200 from the site (covert pages).

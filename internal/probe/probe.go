@@ -12,7 +12,6 @@
 package probe
 
 import (
-	"bytes"
 	"fmt"
 	"net/netip"
 	"time"
@@ -47,6 +46,18 @@ type Probe struct {
 	ISP   *ispnet.ISP
 	// Timeout bounds every network wait.
 	Timeout time.Duration
+	// Attempts overrides the per-detector retry counts when positive
+	// (DetectHTTP's manual verification, CollateralFor's race retries).
+	// Zero keeps each detector's paper-calibrated default.
+	Attempts int
+}
+
+// attempts resolves the retry count for a detector with default def.
+func (p *Probe) attempts(def int) int {
+	if p.Attempts > 0 {
+		return p.Attempts
+	}
+	return def
 }
 
 // New creates a probe for an ISP's measurement client.
@@ -85,12 +96,9 @@ func (r *FetchResult) Body() []byte {
 
 // classify fills the notification fields from the stream.
 func (r *FetchResult) classify() {
-	for _, sig := range KnownSignatures {
-		if bytes.Contains(r.Stream, []byte(sig.Marker)) {
-			r.Notification = true
-			r.SignatureISP = sig.ISP
-			return
-		}
+	if isp, ok := MatchSignature(r.Stream); ok {
+		r.Notification = true
+		r.SignatureISP = isp
 	}
 }
 

@@ -1,0 +1,48 @@
+package probe
+
+import "bytes"
+
+// Mechanism labels the evidence that convicted a censored fetch.
+type Mechanism string
+
+// The mechanisms the §3/§4 detectors distinguish.
+const (
+	// MechNone: no censorship evidence.
+	MechNone Mechanism = ""
+	// MechNotification: the stream carried a known censorship page.
+	MechNotification Mechanism = "notification"
+	// MechReset: a valid RST killed the connection before any response.
+	MechReset Mechanism = "rst"
+	// MechBlackhole: the connection established but hung — no response,
+	// no teardown — while the uncensored path works.
+	MechBlackhole Mechanism = "blackhole"
+)
+
+// MatchSignature scans a received byte stream for a known censorship
+// notification marker and names the ISP it fingerprints (§6.1).
+func MatchSignature(stream []byte) (isp string, ok bool) {
+	for _, sig := range KnownSignatures {
+		if bytes.Contains(stream, []byte(sig.Marker)) {
+			return sig.ISP, true
+		}
+	}
+	return "", false
+}
+
+// CensorVerdict applies the shared censored-fetch heuristic used by the
+// detection pipeline (§3.1 manual verification), the collateral sweep
+// (§6.1) and the censor package: a fetch is censored when it carried a
+// known notification, when a valid RST killed the established connection
+// before any response, or when the connection hung with neither response
+// nor orderly teardown (blackholed).
+func (r *FetchResult) CensorVerdict() (censored bool, mech Mechanism) {
+	switch {
+	case r.Notification:
+		return true, MechNotification
+	case r.Connected && r.Reset && len(r.Responses) == 0:
+		return true, MechReset
+	case r.Connected && len(r.Responses) == 0 && !r.PeerClosed:
+		return true, MechBlackhole
+	}
+	return false, MechNone
+}

@@ -12,7 +12,7 @@
 // is ignored, and the client-side packet filter can drop middlebox packets
 // before they ever reach this state machine.
 //
-// Simplifications relative to a production stack (documented in DESIGN.md):
+// Simplifications relative to a production stack (documented here):
 // segments are delivered in order by the simulator so there is no
 // reassembly queue (out-of-order data is dropped with a duplicate ACK), and
 // there are no retransmissions — losses in the simulation are deliberate

@@ -139,7 +139,7 @@ func tldFor(domain string) string {
 }
 
 // kindFor assigns the hosting/content kind with the calibrated mix: 8%
-// dead, 3% gone, 20% CDN, 12% dynamic, rest normal (DESIGN.md §4).
+// dead, 3% gone, 20% CDN, 12% dynamic, rest normal (calibrated to the paper).
 func kindFor(domain string) Kind {
 	v := hash64("kind|"+domain) % 100
 	switch {
