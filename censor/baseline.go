@@ -1,0 +1,80 @@
+package censor
+
+import (
+	"net/netip"
+
+	"repro/internal/probe"
+)
+
+// baseline is the censorship status the analysis measurements (evasion,
+// fingerprint) establish before doing their expensive work: what — if
+// anything — interferes with a plain user fetch of the domain.
+type baseline struct {
+	// torAddrs is the Tor-resolved ground truth; torAddrs[0] is the
+	// genuine address the HTTP probes target.
+	torAddrs []netip.Addr
+	torSet   map[netip.Addr]bool
+	// dnsPoisoned: the vantage's default resolver manipulates the answer
+	// (§3.2 heuristics, same classifier as the dns detector).
+	dnsPoisoned bool
+	// httpCensored: a plain fetch at the genuine address drew censorship
+	// evidence; mech/signatureISP describe it.
+	httpCensored bool
+	mech         probe.Mechanism
+	signatureISP string
+	// sawIPID242: an Airtel-style fixed IP identifier appeared on ingress
+	// during the fetches.
+	sawIPID242 bool
+}
+
+// torSetOf builds the membership set of the Tor-resolved ground truth.
+func torSetOf(addrs []netip.Addr) map[netip.Addr]bool {
+	set := make(map[netip.Addr]bool, len(addrs))
+	for _, a := range addrs {
+		set[a] = true
+	}
+	return set
+}
+
+// answersManipulated applies the §3.2 heuristics to a local answer set
+// against the Tor ground truth, through the vantage's caching classifier
+// — one poisoned record in an otherwise clean set still marks the domain
+// manipulated. Shared by the dns detector and the analysis baselines.
+func answersManipulated(v *Vantage, domain string, local []netip.Addr, torSet map[netip.Addr]bool) bool {
+	for _, a := range local {
+		if v.classifier.Manipulated(domain, a, torSet, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// measureBaseline resolves the domain via Tor (failing like the paper's
+// dead-site filtering when even that path is dead), applies the DNS
+// manipulation heuristics to the default resolver's answer (a local
+// resolution failure counts as not-poisoned; only the analysis's HTTP
+// side needs the domain reachable), and probes the genuine address with
+// up to tries plain fetches (retried against wiretap race losses).
+func measureBaseline(v *Vantage, domain string, tries int) (baseline, error) {
+	p := v.probe
+	tor, err := p.ResolveViaTor(domain)
+	if err != nil {
+		return baseline{}, err
+	}
+	b := baseline{torAddrs: tor, torSet: torSetOf(tor)}
+	if local, lerr := p.ResolveLocal(domain); lerr == nil {
+		b.dnsPoisoned = answersManipulated(v, domain, local, b.torSet)
+	}
+	for attempt := 0; attempt < tries && !b.httpCensored; attempt++ {
+		fr := probe.GetFrom(p.ISP.Client, b.torAddrs[0], domain, nil, p.Timeout)
+		if fr.SawIPID242 {
+			b.sawIPID242 = true
+		}
+		if censored, mech := fr.CensorVerdict(); censored {
+			b.httpCensored = true
+			b.mech = mech
+			b.signatureISP = fr.SignatureISP
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,53 @@
+package censor
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCampaignThroughput measures end-to-end campaign throughput —
+// world replication, the worker pool, the stable-order merger and the
+// aggregate sink — at several worker counts. CI runs it with
+// -benchtime=1x as a smoke (any regression that deadlocks or breaks
+// determinism fails the run); BENCH_campaign.json records the first
+// recorded baseline.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	sess, err := NewSession(context.Background(), WithScale(ScaleSmall))
+	if err != nil {
+		b.Fatal(err)
+	}
+	domains := sess.PBWDomains()
+	if len(domains) > 32 {
+		domains = domains[:32]
+	}
+	campaign := Campaign{
+		Domains:      domains,
+		Measurements: []Measurement{DNS(), HTTP()},
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				stream, err := sess.Run(context.Background(), campaign, WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg := NewAggregateSink()
+				if err := stream.Drain(agg); err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for _, v := range agg.Vantages() {
+					n += agg.TallyFor(v).Total
+				}
+				want := len(StudyISPs) * len(campaign.Measurements) * len(domains)
+				if n != want {
+					b.Fatalf("campaign delivered %d results, want %d", n, want)
+				}
+				total += n
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "results/s")
+		})
+	}
+}

@@ -2,7 +2,6 @@ package censor
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"reflect"
@@ -14,9 +13,9 @@ import (
 // Campaign describes one fan-out: every configured vantage runs every
 // measurement over every domain. Nil fields fall back to the session:
 // nil Domains means the full potentially-blocked-website list, nil
-// Measurements means every built-in detector. Empty non-nil slices mean
-// exactly what they say — nothing — so a filter that matched nothing
-// does not explode into a full sweep.
+// Measurements means every registered detector (Measurements()). Empty
+// non-nil slices mean exactly what they say — nothing — so a filter that
+// matched nothing does not explode into a full sweep.
 type Campaign struct {
 	// Domains are the websites to measure, in output order.
 	Domains []string
@@ -56,20 +55,45 @@ func (st *Stream) Collect() ([]Result, error) {
 	return out, st.err
 }
 
-// WriteJSONL drains the stream, writing each result as one JSONL line as
-// it arrives. On a write error it cancels the campaign and drains the
-// remainder so no worker is left blocked behind the stream.
-func (st *Stream) WriteJSONL(w io.Writer) error {
-	enc := json.NewEncoder(w)
+// Drain consumes the stream to completion, delivering every result to
+// each sink as it arrives — in the stream's deterministic order — and
+// flushing the sinks once the stream closes. On a sink error it cancels
+// the campaign and drains the remainder so no worker is left blocked
+// behind the stream, then returns that error. Every sink is flushed on
+// every path — a sibling sink's buffered output is not lost to another
+// sink's failure — and the first error wins. Otherwise it returns the
+// stream's own Err.
+func (st *Stream) Drain(sinks ...Sink) error {
+	var firstErr error
 	for r := range st.ch {
-		if err := enc.Encode(&r); err != nil {
-			st.Cancel()
-			for range st.ch {
+		for _, s := range sinks {
+			if err := s.Write(r); err != nil {
+				firstErr = err
+				st.Cancel()
+				for range st.ch {
+				}
+				break
 			}
-			return fmt.Errorf("censor: jsonl: %w", err)
+		}
+		if firstErr != nil {
+			break
 		}
 	}
+	for _, s := range sinks {
+		if err := s.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
 	return st.err
+}
+
+// WriteJSONL drains the stream through a JSONLSink, writing each result
+// as one JSONL line as it arrives.
+func (st *Stream) WriteJSONL(w io.Writer) error {
+	return st.Drain(NewJSONLSink(w))
 }
 
 // task is one schedulable unit: one vantage running one measurement over

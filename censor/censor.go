@@ -1,5 +1,4 @@
-// Package censor is the public measurement API of the reproduction: a
-// context-aware, concurrent replacement for the internal/core façade.
+// Package censor is the public measurement API of the reproduction.
 //
 // A Session binds a simulated Indian Internet (the world of Yadav et al.,
 // IMC 2018) to a measurement configuration. Individual measurements run
@@ -9,6 +8,20 @@
 // a deterministic worker pool and streams uniform [Result] records back in
 // a stable order. A campaign executed with [WithWorkers](N) produces
 // byte-identical output to the same campaign executed sequentially.
+//
+// Detectors live in a registry: every analysis of the paper is a named
+// [Measurement] — the five probe detectors ("dns", "http", "https",
+// "tcp", "collateral") plus the promoted subsystems "evasion" (§5),
+// "ooni" (§6.2) and "fingerprint" (§4) — resolvable with [Lookup],
+// enumerable with [Names], and extensible with [Register]. Detectors
+// with structured findings attach typed payloads ([EvasionDetail],
+// [OONIDetail], [FingerprintDetail]) to [Result.Detail]; recover them
+// with [DetailAs].
+//
+// Campaign output flows through pluggable [Sink]s ([Stream.Drain]):
+// [JSONLSink] and [CSVSink] stream records, [AggregateSink] folds them
+// into per-vantage/per-mechanism tallies — the paper's summary-table
+// shapes — in memory.
 //
 // A typical session:
 //
@@ -33,6 +46,7 @@ package censor
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -168,14 +182,18 @@ func NewSession(ctx context.Context, opts ...Option) (*Session, error) {
 		o(&cfg)
 	}
 	// Validate vantages against the profile list before paying for the
-	// world build, so a typo fails instantly even at paper scale.
+	// world build, so a typo fails instantly even at paper scale — the
+	// error lists what this world offers.
+	avail := make([]string, 0, len(cfg.world.Profiles))
 	known := make(map[string]bool, len(cfg.world.Profiles))
 	for i := range cfg.world.Profiles {
+		avail = append(avail, cfg.world.Profiles[i].Name)
 		known[cfg.world.Profiles[i].Name] = true
 	}
 	for _, name := range cfg.vantages {
 		if !known[name] {
-			return nil, fmt.Errorf("censor: unknown vantage ISP %q", name)
+			return nil, fmt.Errorf("censor: unknown vantage ISP %q (available: %s)",
+				name, strings.Join(avail, ", "))
 		}
 	}
 	return &Session{cfg: cfg, world: ispnet.NewWorld(cfg.world)}, nil

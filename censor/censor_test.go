@@ -238,16 +238,50 @@ func TestStreamCancel(t *testing.T) {
 }
 
 func TestMeasurementKinds(t *testing.T) {
-	want := []string{"dns", "http", "https", "tcp", "collateral"}
-	all := Measurements()
-	if len(all) != len(want) {
-		t.Fatalf("Measurements() = %d entries", len(all))
+	// The built-ins, in canonical registration order. External
+	// registrations (the tests register "echo") append after these.
+	want := []string{"dns", "http", "https", "tcp", "collateral", "evasion", "ooni", "fingerprint"}
+	names := Names()
+	if len(names) < len(want) {
+		t.Fatalf("Names() = %v, want at least the %d built-ins", names, len(want))
 	}
-	for i, m := range all {
-		if m.Kind() != want[i] {
-			t.Errorf("measurement %d kind = %q, want %q", i, m.Kind(), want[i])
+	for i, k := range want {
+		if names[i] != k {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], k)
+		}
+		m, ok := Lookup(k)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", k)
+		}
+		if m.Kind() != k {
+			t.Errorf("Lookup(%q).Kind() = %q", k, m.Kind())
 		}
 	}
+	all := Measurements()
+	if len(all) != len(names) {
+		t.Fatalf("Measurements() = %d entries, Names() = %d", len(all), len(names))
+	}
+	for i, m := range all {
+		if m.Kind() != names[i] {
+			t.Errorf("measurement %d kind = %q, want %q", i, m.Kind(), names[i])
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { Register("", DNS) })
+	mustPanic("nil factory", func() { Register("x", nil) })
+	mustPanic("kind mismatch", func() { Register("not-dns", DNS) })
+	mustPanic("duplicate", func() { Register("dns", DNS) })
 }
 
 func TestJSONLRoundTrip(t *testing.T) {

@@ -1,0 +1,104 @@
+package censor
+
+import (
+	"context"
+
+	"repro/internal/anticensor"
+)
+
+// TechniqueOutcome is one technique's outcome inside an EvasionDetail.
+type TechniqueOutcome struct {
+	// Technique is the §5 technique name (anticensor.Technique values:
+	// "host-keyword-case", "host-extra-space", "host-trailing-space",
+	// "multiple-host-headers", "segmented-request", "drop-fin-rst",
+	// "alternate-resolver").
+	Technique string `json:"technique"`
+	// Success: the client rendered genuine site content.
+	Success bool `json:"success"`
+	// Censored: a censorship response was still observed during at least
+	// one attempt.
+	Censored bool `json:"censored,omitempty"`
+}
+
+// EvasionDetail is the typed Result.Detail payload of the evasion
+// measurement: the per-technique success matrix for one (vantage,
+// domain) — one cell column of the paper's §5 claim table.
+type EvasionDetail struct {
+	// HTTPCensored / DNSPoisoned describe the baseline the techniques
+	// were evaluated against: a middlebox interfered with a plain fetch
+	// at the genuine address, and/or the vantage's default resolver
+	// manipulated the answer.
+	HTTPCensored bool `json:"http_censored"`
+	DNSPoisoned  bool `json:"dns_poisoned"`
+	// Evaded: at least one technique retrieved genuine content.
+	Evaded bool `json:"evaded"`
+	// Techniques are the attempted techniques in canonical order: the
+	// request/packet-filter mutations of §5 when HTTP censorship was
+	// observed, the alternate-resolver fix when DNS poisoning was.
+	Techniques []TechniqueOutcome `json:"techniques,omitempty"`
+}
+
+// Evasion returns the §5 anti-censorship measurement: it establishes the
+// censorship baseline for the domain (plain fetches at the genuine
+// address, DNS answers against Tor ground truth), then attempts every
+// applicable evasion technique and records the success matrix in an
+// EvasionDetail. Result.Blocked reports the baseline; unblocked domains
+// skip the techniques and carry no Detail.
+func Evasion() Measurement { return evasionMeasurement{} }
+
+type evasionMeasurement struct{}
+
+func (evasionMeasurement) Kind() string { return "evasion" }
+
+func (m evasionMeasurement) Measure(ctx context.Context, v *Vantage, domain string) Result {
+	res := base(m, v, domain)
+	p := v.probe
+	tries := p.Attempts
+	if tries <= 0 {
+		tries = 3 // the §5 retry budget against wiretap race losses
+	}
+
+	b, err := measureBaseline(v, domain, tries)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	det := EvasionDetail{HTTPCensored: b.httpCensored, DNSPoisoned: b.dnsPoisoned}
+	if b.httpCensored {
+		res.Mechanism = string(b.mech)
+		res.Censor = b.signatureISP
+	} else if b.dnsPoisoned {
+		res.Mechanism = MechanismDNSPoisoning
+	}
+	res.Blocked = det.HTTPCensored || det.DNSPoisoned
+	if !res.Blocked {
+		return res
+	}
+
+	// Techniques applicable to the observed mechanisms: the request and
+	// packet-filter mutations against middleboxes, the resolver switch
+	// against poisoning.
+	var techniques []anticensor.Technique
+	if det.HTTPCensored {
+		techniques = append(techniques, anticensor.AllTechniques...)
+	}
+	if det.DNSPoisoned {
+		techniques = append(techniques, anticensor.TechAltResolver)
+	}
+	for _, tech := range techniques {
+		if err := ctx.Err(); err != nil {
+			res.Error = err.Error()
+			break
+		}
+		out := TechniqueOutcome{Technique: string(tech)}
+		for attempt := 0; attempt < tries && !out.Success; attempt++ {
+			at := anticensor.Evade(p, tech, domain)
+			out.Success = at.Success
+			out.Censored = out.Censored || at.Censored
+		}
+		det.Evaded = det.Evaded || out.Success
+		det.Techniques = append(det.Techniques, out)
+	}
+	res.Detail = det
+	return res
+}

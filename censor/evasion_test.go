@@ -1,0 +1,159 @@
+package censor
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/websim"
+)
+
+// evadableDomains finds up to n normal-kind domains truly censored on the
+// vantage's own path to the site (the only paths where §5 evasion is
+// meaningful; wiretap ISPs may censor none at small scale — callers skip).
+func evadableDomains(t *testing.T, s *Session, isp string, n int) []string {
+	t.Helper()
+	w := s.World()
+	var out []string
+	for _, d := range w.ISP(isp).HTTPList {
+		if site, ok := w.Catalog.Site(d); !ok || site.Kind != websim.KindNormal {
+			continue
+		}
+		if tr := w.TruthFor(w.ISP(isp), d); tr.HTTPFiltered {
+			out = append(out, d)
+		}
+		if len(out) >= n {
+			break
+		}
+	}
+	return out
+}
+
+// TestEvasionMatrixGolden reproduces the §5 matrix through the public
+// Evasion measurement: every baseline-censored domain must be evaded by
+// at least one technique (the paper's headline claim), and the
+// middlebox-family-specific cells must hold — extra-space defeats Idea's
+// overt interceptive boxes, multiple-host defeats Vodafone's covert
+// ones, and the alternate resolver fixes MTNL's poisoning.
+func TestEvasionMatrixGolden(t *testing.T) {
+	s := session(t)
+	ctx := context.Background()
+
+	cases := []struct {
+		isp       string
+		technique string // the §5 cell that must be all-successes
+	}{
+		{"Idea", "host-extra-space"},
+		{"Vodafone", "multiple-host-headers"},
+	}
+	for _, c := range cases {
+		domains := evadableDomains(t, s, c.isp, 2)
+		if len(domains) == 0 {
+			t.Logf("%s: no censored site path at this scale, skipping row", c.isp)
+			continue
+		}
+		results, err := s.Measure(ctx, c.isp, Evasion(), domains...)
+		if err != nil {
+			t.Fatalf("%s: Measure: %v", c.isp, err)
+		}
+		for _, r := range results {
+			if !r.Blocked {
+				t.Errorf("%s/%s: oracle-censored domain not censored at baseline", c.isp, r.Domain)
+				continue
+			}
+			det, ok := DetailAs[EvasionDetail](r)
+			if !ok {
+				t.Fatalf("%s/%s: no EvasionDetail", c.isp, r.Domain)
+			}
+			if !det.HTTPCensored {
+				t.Errorf("%s/%s: baseline misses HTTP censorship: %+v", c.isp, r.Domain, det)
+			}
+			if !det.Evaded {
+				t.Errorf("%s/%s: no technique evaded the middlebox: %+v", c.isp, r.Domain, det)
+			}
+			found := false
+			for _, o := range det.Techniques {
+				if o.Technique == c.technique {
+					found = true
+					if !o.Success {
+						t.Errorf("%s/%s: %s failed (paper: defeats this middlebox family)", c.isp, r.Domain, c.technique)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("%s/%s: technique %s not attempted: %+v", c.isp, r.Domain, c.technique, det)
+			}
+		}
+	}
+
+	// DNS row: a poisoned, not-HTTP-filtered domain in MTNL must be fixed
+	// by the alternate resolver.
+	w := s.World()
+	mtnl := w.ISP("MTNL")
+	var victim string
+	for _, d := range mtnl.DNSList {
+		site, ok := w.Catalog.Site(d)
+		if ok && site.Kind == websim.KindNormal && mtnl.Resolvers[0].PoisonsDomain(d) {
+			if tr := w.TruthFor(mtnl, d); !tr.HTTPFiltered {
+				victim = d
+				break
+			}
+		}
+	}
+	if victim == "" {
+		t.Fatal("MTNL: no poisoned normal domain at this scale")
+	}
+	results, err := s.Measure(ctx, "MTNL", Evasion(), victim)
+	if err != nil {
+		t.Fatalf("MTNL: Measure: %v", err)
+	}
+	r := results[0]
+	det, ok := DetailAs[EvasionDetail](r)
+	if !ok || !r.Blocked {
+		t.Fatalf("MTNL/%s: blocked=%v detail=%#v", victim, r.Blocked, r.Detail)
+	}
+	if !det.DNSPoisoned || r.Mechanism != MechanismDNSPoisoning {
+		t.Errorf("MTNL/%s: baseline = %+v mechanism=%q", victim, det, r.Mechanism)
+	}
+	if len(det.Techniques) != 1 || det.Techniques[0].Technique != "alternate-resolver" {
+		t.Fatalf("MTNL/%s: DNS-only censorship should try only the resolver switch: %+v", victim, det.Techniques)
+	}
+	if !det.Techniques[0].Success || !det.Evaded {
+		t.Errorf("MTNL/%s: alternate resolver did not fix poisoning: %+v", victim, det)
+	}
+}
+
+// TestEvasionCampaignDeterministic is the acceptance check behind
+// `censorscan -measure evasion -format summary`: an evasion campaign
+// streamed to CSV and summary sinks is byte-identical across worker
+// counts.
+func TestEvasionCampaignDeterministic(t *testing.T) {
+	s := session(t)
+	domains := append(evadableDomains(t, s, "Idea", 2), s.PBWDomains()[:2]...)
+	campaign := Campaign{Domains: domains, Measurements: []Measurement{Evasion()}}
+
+	runWith := func(workers int) (string, string) {
+		stream, err := s.Run(context.Background(), campaign,
+			WithVantages("Idea", "MTNL"), WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		agg := NewAggregateSink()
+		if err := stream.Drain(NewCSVSink(&buf), agg); err != nil {
+			t.Fatalf("Drain(workers=%d): %v", workers, err)
+		}
+		return buf.String(), agg.Summary()
+	}
+	csv1, sum1 := runWith(1)
+	csv8, sum8 := runWith(8)
+	if csv1 != csv8 {
+		t.Errorf("CSV diverged between workers 1 and 8:\n%s\n---\n%s", csv1, csv8)
+	}
+	if sum1 != sum8 {
+		t.Errorf("summary diverged between workers 1 and 8:\n%s\n---\n%s", sum1, sum8)
+	}
+	if !bytes.Contains([]byte(sum1), []byte("Evasion (§5)")) {
+		t.Errorf("summary missing evasion section:\n%s", sum1)
+	}
+}

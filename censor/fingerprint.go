@@ -1,0 +1,146 @@
+package censor
+
+import (
+	"context"
+
+	"repro/internal/probe"
+)
+
+// FingerprintDetail is the typed Result.Detail payload of the
+// fingerprint measurement: the §4 middlebox anatomy for one censored
+// (vantage, domain) — deployment style, visibility, state handling and
+// injection signature — plus the DNS-side tracer verdict when the
+// domain's resolution is manipulated. Unblocked domains carry no Detail.
+type FingerprintDetail struct {
+	// BoxType is the §4.2.1 remote-controlled-host verdict: "wiretap"
+	// (the box copies traffic and races the genuine response),
+	// "interceptive" (the box consumes the request), or "unknown".
+	BoxType string `json:"box_type,omitempty"`
+	// Overt / Covert describe the censorship's visibility: a notification
+	// page versus a bare forged RST.
+	Overt  bool `json:"overt,omitempty"`
+	Covert bool `json:"covert,omitempty"`
+	// SignatureISP attributes an overt notification's content (§6.1).
+	SignatureISP string `json:"signature_isp,omitempty"`
+	// StatefulChecked / Stateful report the §4.2.1 handshake-state probe:
+	// a stateful box ignores a GET on a flow it never saw handshake.
+	StatefulChecked bool `json:"stateful_checked,omitempty"`
+	Stateful        bool `json:"stateful,omitempty"`
+	// IPID is the fixed IP-identifier signature observed on injected
+	// packets (Airtel's 242), 0 when none.
+	IPID uint16 `json:"ipid,omitempty"`
+	// CensorHop / PathHops locate the middlebox: the TTL at which the
+	// iterative tracer first drew a censorship response, against the
+	// traceroute hop count to the destination (Figure 1).
+	CensorHop int `json:"censor_hop,omitempty"`
+	PathHops  int `json:"path_hops,omitempty"`
+	// DNS-side fingerprint, when the default resolver manipulates the
+	// domain: the iterative DNS tracer distinguishes resolver poisoning
+	// (answers only from the last hop — the paper's universal finding)
+	// from on-path injection.
+	DNSPoisoned bool `json:"dns_poisoned,omitempty"`
+	DNSInjected bool `json:"dns_injected,omitempty"`
+	ResolverHop int  `json:"resolver_hop,omitempty"`
+	AnswerHop   int  `json:"answer_hop,omitempty"`
+}
+
+// Fingerprint returns the §4 middlebox-fingerprint measurement: a cheap
+// censorship prescreen, then — for interfered domains only — the
+// iterative network tracer (Figure 1), the remote-controlled-host
+// wiretap/interceptive classification (§4.2.1), the handshake-state
+// probe, the IP-ID injection signature, and the DNS tracer variant. The
+// verdicts land in a FingerprintDetail.
+func Fingerprint() Measurement { return fingerprintMeasurement{} }
+
+type fingerprintMeasurement struct{}
+
+func (fingerprintMeasurement) Kind() string { return "fingerprint" }
+
+func (m fingerprintMeasurement) Measure(ctx context.Context, v *Vantage, domain string) Result {
+	res := base(m, v, domain)
+	p := v.probe
+	tries := p.Attempts
+	if tries <= 0 {
+		tries = 4 // enough plain fetches to beat the ~30% wiretap race
+	}
+	if err := ctx.Err(); err != nil {
+		res.Error = err.Error()
+		return res
+	}
+
+	// The shared prescreen doubles as the cheap gate: unblocked domains
+	// never pay for the traces below. Its capture also surfaces the
+	// injection IP-ID signature.
+	b, err := measureBaseline(v, domain, tries)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	det := FingerprintDetail{DNSPoisoned: b.dnsPoisoned}
+	if b.sawIPID242 {
+		det.IPID = 242
+	}
+	httpCensored := b.httpCensored
+	addr := b.torAddrs[0]
+	if httpCensored {
+		res.Mechanism = string(b.mech)
+		res.Censor = b.signatureISP
+	}
+	if !httpCensored && !det.DNSPoisoned {
+		return res // nothing interferes: no fingerprint to take
+	}
+	res.Blocked = true
+
+	if det.DNSPoisoned {
+		if res.Mechanism == "" {
+			res.Mechanism = MechanismDNSPoisoning
+		}
+		dt := probe.IterativeTraceDNS(p.ISP.Client, p.ISP.DefaultResolver, domain, p.Timeout)
+		det.DNSInjected = dt.Injected
+		det.ResolverHop = dt.ResolverHop
+		det.AnswerHop = dt.AnswerHop
+	}
+
+	if httpCensored {
+		if err := ctx.Err(); err != nil {
+			res.Error = err.Error()
+			res.Detail = det
+			return res
+		}
+		// Localize the box on the path (Figure 1) and read its visibility.
+		tr := probe.IterativeTraceHTTP(p.ISP.Client, addr, domain, p.Timeout)
+		det.CensorHop = tr.CensorHop
+		det.PathHops = tr.TotalHops
+		det.Covert = tr.Covert
+		det.Overt = tr.CensorHop > 0 && !tr.Covert
+		det.SignatureISP = tr.SignatureISP
+		if res.Censor == "" {
+			res.Censor = tr.SignatureISP
+		}
+
+		// Wiretap vs interceptive via a remote controlled host (§4.2.1).
+		det.BoxType = "unknown"
+		for _, vp := range v.world.VPs {
+			if err := ctx.Err(); err != nil {
+				res.Error = err.Error()
+				res.Detail = det
+				return res
+			}
+			cls := p.ClassifyMiddlebox(domain, vp, tries)
+			if cls.ClientSawCensorship {
+				det.BoxType = cls.Type
+				break
+			}
+		}
+
+		// Handshake-state probe: a lone GET on a never-handshaked flow,
+		// expiring one hop short of the server so only a box can answer.
+		// Meaningful only when the traceroute pinned the path length.
+		if det.PathHops > 1 {
+			det.StatefulChecked = true
+			det.Stateful = !p.NoHandshakeTriggers(domain, addr, det.PathHops)
+		}
+	}
+	res.Detail = det
+	return res
+}

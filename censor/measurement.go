@@ -8,21 +8,16 @@ import (
 // Measurement is one detector of the paper's toolkit behind a uniform
 // interface. Implementations must be stateless: campaign workers share
 // one Measurement value across goroutines, each calling Measure with its
-// own private Vantage.
+// own private Vantage. Detectors become discoverable by name — in
+// campaigns, Lookup, and the cmd tools — by Register-ing a factory.
 type Measurement interface {
-	// Kind names the detector in Result records.
+	// Kind names the detector in Result records and in the registry.
 	Kind() string
 	// Measure runs the detector for one domain from a vantage. The
 	// campaign runner observes ctx between domains; implementations with
 	// expensive internal steps may additionally check ctx at step
 	// boundaries (the DNS detector does, before its verification fetch).
 	Measure(ctx context.Context, v *Vantage, domain string) Result
-}
-
-// Measurements returns every built-in detector, in the canonical order
-// used when a campaign does not pick its own.
-func Measurements() []Measurement {
-	return []Measurement{DNS(), HTTP(), HTTPS(), TCP(), Collateral()}
 }
 
 // base pre-fills the uniform record fields.
@@ -67,25 +62,17 @@ func (m dnsMeasurement) Measure(ctx context.Context, v *Vantage, domain string) 
 		res.Error = terr.Error()
 		return res
 	}
-	torSet := make(map[netip.Addr]bool, len(tor))
-	for _, t := range tor {
-		torSet[t] = true
-	}
 	if ctx.Err() != nil {
 		res.Error = ctx.Err().Error()
 		return res
 	}
-	// Classify every answer, like the fleet scan: one poisoned record in
-	// an otherwise clean set still marks the domain manipulated. An
-	// unexplained divergent answer is always a suspect — the vantage's
-	// classifier Tor-verifies it once per address (shared hosting and CDN
-	// edges serve content, block hosts do not).
-	for _, a := range local {
-		if v.classifier.Manipulated(domain, a, torSet, true) {
-			res.Blocked = true
-			res.Mechanism = MechanismDNSPoisoning
-			break
-		}
+	// Classify every answer, like the fleet scan. An unexplained
+	// divergent answer is always a suspect — the vantage's classifier
+	// Tor-verifies it once per address (shared hosting and CDN edges
+	// serve content, block hosts do not).
+	if answersManipulated(v, domain, local, torSetOf(tor)) {
+		res.Blocked = true
+		res.Mechanism = MechanismDNSPoisoning
 	}
 	return res
 }

@@ -1,0 +1,83 @@
+package censor
+
+import (
+	"context"
+
+	"repro/internal/ooni"
+)
+
+// OONI verdict strings the ooni detector places in Result.Mechanism —
+// web_connectivity's own blocking vocabulary, distinct from the probe
+// mechanisms of the paper's detectors.
+const (
+	MechanismOONIDNS         = string(ooni.BlockingDNS)
+	MechanismOONITCP         = string(ooni.BlockingTCP)
+	MechanismOONIHTTPDiff    = string(ooni.BlockingHTTPDiff)
+	MechanismOONIHTTPFailure = string(ooni.BlockingHTTPFailure)
+)
+
+// OONIDetail is the typed Result.Detail payload of the ooni measurement:
+// web_connectivity's verdict, the intermediate comparison signals the
+// verdict was derived from, and the agreement with the simulation's
+// ground truth — the per-domain cell behind the paper's Table 1.
+type OONIDetail struct {
+	// Verdict is OONI's blocking value ("", "dns", "tcp_ip", "http-diff",
+	// "http-failure").
+	Verdict string `json:"verdict"`
+	// Accessible is OONI's accessibility conclusion.
+	Accessible bool `json:"accessible"`
+	// The comparison signals of the published web_connectivity rules.
+	DNSConsistent bool `json:"dns_consistent"`
+	TCPSucceeded  bool `json:"tcp_succeeded"`
+	BodyPropOK    bool `json:"body_prop_ok"`
+	HeadersMatch  bool `json:"headers_match"`
+	TitleCompared bool `json:"title_compared"`
+	TitleMatch    bool `json:"title_match"`
+	// TruthBlocked: the oracle (standing in for the authors' manual
+	// verification) says some mechanism really interferes with this
+	// domain from this vantage.
+	TruthBlocked bool `json:"truth_blocked"`
+	// Agrees: OONI's flagged/clean verdict matches TruthBlocked — the
+	// per-domain agreement Table 1 aggregates into precision and recall.
+	Agrees bool `json:"agrees"`
+}
+
+// OONI returns the §6.2 audit measurement: it runs the OONI
+// web_connectivity replica for the domain and scores the verdict against
+// the simulation's ground truth. Result.Blocked is OONI's verdict — NOT
+// the ground truth — so campaigns over this measurement reproduce OONI's
+// false positives and negatives; the OONIDetail carries the agreement
+// fields Table 1 is built from.
+func OONI() Measurement { return ooniMeasurement{} }
+
+type ooniMeasurement struct{}
+
+func (ooniMeasurement) Kind() string { return "ooni" }
+
+func (m ooniMeasurement) Measure(ctx context.Context, v *Vantage, domain string) Result {
+	res := base(m, v, domain)
+	if err := ctx.Err(); err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	runner := ooni.NewRunner(v.world, v.probe.ISP)
+	runner.Timeout = v.probe.Timeout
+	meas := runner.Run(domain)
+
+	res.Blocked = meas.Verdict != ooni.BlockingNone
+	res.Mechanism = string(meas.Verdict)
+	truth := v.world.TruthFor(v.probe.ISP, domain)
+	res.Detail = OONIDetail{
+		Verdict:       string(meas.Verdict),
+		Accessible:    meas.Accessible,
+		DNSConsistent: meas.DNSConsistent,
+		TCPSucceeded:  meas.TCPSucceeded,
+		BodyPropOK:    meas.BodyPropOK,
+		HeadersMatch:  meas.HeadersMatch,
+		TitleCompared: meas.TitleCompared,
+		TitleMatch:    meas.TitleMatch,
+		TruthBlocked:  truth.Blocked(),
+		Agrees:        res.Blocked == truth.Blocked(),
+	}
+	return res
+}

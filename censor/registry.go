@@ -1,0 +1,97 @@
+package censor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Factory constructs one detector instance. Factories must return
+// stateless Measurements: campaign workers share a single value returned
+// by a factory across goroutines.
+type Factory func() Measurement
+
+var (
+	regMu        sync.RWMutex
+	regNames     []string
+	regFactories = map[string]Factory{}
+)
+
+// Register adds a detector to the registry under a unique name, making it
+// resolvable by Lookup, listed by Names, included in Measurements, and
+// runnable through campaigns and the cmd tools' -measure flags. The
+// built-in detectors self-register; external packages typically Register
+// from an init function:
+//
+//	func init() {
+//		censor.Register("my-detector", func() censor.Measurement { return myDetector{} })
+//	}
+//
+// Register panics on an empty name, a nil factory, a duplicate name, or a
+// factory whose Measurement reports a different Kind — all programmer
+// errors, caught at startup.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("censor: Register: empty detector name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("censor: Register(%q): nil factory", name))
+	}
+	if kind := f().Kind(); kind != name {
+		panic(fmt.Sprintf("censor: Register(%q): factory builds a %q measurement", name, kind))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regFactories[name]; dup {
+		panic(fmt.Sprintf("censor: Register(%q): already registered", name))
+	}
+	regFactories[name] = f
+	regNames = append(regNames, name)
+}
+
+// Lookup resolves a registered detector by name, returning a fresh
+// instance from its factory.
+func Lookup(name string) (Measurement, bool) {
+	regMu.RLock()
+	f, ok := regFactories[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return f(), true
+}
+
+// Names lists every registered detector: the built-ins first, in their
+// canonical order, then external registrations in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regNames...)
+}
+
+// Measurements returns one instance of every registered detector, in
+// Names order. This is the detector set a Campaign with nil Measurements
+// runs.
+func Measurements() []Measurement {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Measurement, 0, len(regNames))
+	for _, name := range regNames {
+		out = append(out, regFactories[name]())
+	}
+	return out
+}
+
+// The built-ins self-register here (a single init keeps the canonical
+// order independent of file order): the five per-domain probe detectors
+// of §3, then the three paper analyses promoted to measurements —
+// evasion (§5), ooni (§6.2) and fingerprint (§4).
+func init() {
+	Register("dns", DNS)
+	Register("http", HTTP)
+	Register("https", HTTPS)
+	Register("tcp", TCP)
+	Register("collateral", Collateral)
+	Register("evasion", Evasion)
+	Register("ooni", OONI)
+	Register("fingerprint", Fingerprint)
+}

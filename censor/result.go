@@ -29,8 +29,9 @@ const DiffThreshold = probe.DiffThreshold
 type Result struct {
 	// Vantage is the ISP the measurement ran from.
 	Vantage string `json:"vantage"`
-	// Measurement is the detector kind ("dns", "http", "https", "tcp",
-	// "collateral").
+	// Measurement is the detector kind — a registered name such as "dns",
+	// "http", "https", "tcp", "collateral", "evasion", "ooni",
+	// "fingerprint" (see Names for the full registry).
 	Measurement string `json:"measurement"`
 	// Domain is the measured website.
 	Domain string `json:"domain"`
@@ -50,6 +51,37 @@ type Result struct {
 	// Error records a measurement-infrastructure failure (e.g. the domain
 	// is dead even via the uncensored path); Blocked is meaningless then.
 	Error string `json:"error,omitempty"`
+	// Detail carries the detector-specific typed payload, when the
+	// detector produces one: EvasionDetail, OONIDetail and
+	// FingerprintDetail for the built-ins; externally registered
+	// detectors may attach their own JSON-marshalable types. In-process
+	// the field holds the concrete type; after a JSONL round-trip it
+	// holds generic JSON — recover the typed view with DetailAs.
+	Detail any `json:"detail,omitempty"`
+}
+
+// DetailAs extracts a Result's Detail as a concrete payload type. It
+// returns the value directly when the result still carries the typed
+// detail (in-process), and re-decodes through JSON when the result came
+// off the wire (ReadJSONL leaves Detail as generic JSON). Check
+// Result.Measurement before decoding: a generic JSON object decodes
+// loosely into any detail struct.
+func DetailAs[T any](r Result) (T, bool) {
+	if d, ok := r.Detail.(T); ok {
+		return d, true
+	}
+	var out T
+	if r.Detail == nil {
+		return out, false
+	}
+	b, err := json.Marshal(r.Detail)
+	if err != nil {
+		return out, false
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		return out, false
+	}
+	return out, true
 }
 
 // WriteJSONL writes results as JSON Lines: one deterministic, stable-order

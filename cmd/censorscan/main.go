@@ -2,17 +2,20 @@
 // Indian Internet through the public censor API.
 //
 // The default mode prints each table/figure in the same shape the paper
-// reports. The -campaign mode instead fans the uniform detectors out
-// across vantage ISPs on a worker pool and streams one JSONL record per
-// (vantage, measurement, domain) to stdout — the raw-data shape the
-// toolkit's long-running deployments consume.
+// reports. Campaign mode instead fans detectors out across vantage ISPs
+// on a worker pool and streams one uniform record per (vantage,
+// measurement, domain) to stdout — as JSONL, CSV, or an aggregated
+// summary. Detectors are resolved by name from the censor registry, so
+// every registered measurement (built-in or external) is reachable via
+// -measure. Any campaign flag implies -campaign.
 //
 // Usage:
 //
 //	censorscan [-quick] [-only table1,table2,table3,figure1,figure2,figure5,section5]
 //	censorscan -only figure2 -series        # dump the full Figure 2 series
 //	censorscan -campaign -workers 4 -domains 100 > results.jsonl
-//	censorscan -campaign -isps MTNL,BSNL -measure dns,https
+//	censorscan -isps MTNL,BSNL -measure dns,https -format csv
+//	censorscan -quick -measure evasion -domains 20 -format summary
 package main
 
 import (
@@ -33,38 +36,52 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced world (fast smoke run)")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	series := flag.Bool("series", false, "dump full per-website series for figures 2 and 5")
-	campaign := flag.Bool("campaign", false, "stream a JSONL measurement campaign instead of rendering tables")
+	campaign := flag.Bool("campaign", false, "stream a measurement campaign instead of rendering tables")
 	workers := flag.Int("workers", 1, "campaign worker pool size (output is identical for any value)")
 	isps := flag.String("isps", "", "comma-separated vantage ISPs (default: the nine studied ISPs)")
-	measure := flag.String("measure", "", "comma-separated measurements: dns,http,https,tcp,collateral (default: all)")
+	measure := flag.String("measure", "", "comma-separated detector names from the registry (default: all registered)")
 	domains := flag.Int("domains", 0, "cap the campaign to the first N PBW domains (0 = all)")
+	format := flag.String("format", "jsonl", "campaign output format: jsonl, csv, or summary")
 	timeout := flag.Duration("timeout", 3*time.Second, "per-probe network timeout")
 	seed := flag.Int64("seed", 0, "override the world seed (0 = calibrated default)")
 	flag.Parse()
 
 	ctx := context.Background()
 
-	// Mode-specific flags are rejected up front (table mode sweeps the
-	// paper's fixed ISP lists; campaign mode has no tables to filter),
-	// and before the world is built.
+	// Mode resolution: any campaign flag implies campaign mode; table-mode
+	// flags conflict with it. Everything is validated before the world is
+	// built, so a typo fails instantly even at paper scale.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	modeFlags := []struct {
-		name     string
-		campaign bool // flag belongs to campaign mode
-	}{
-		{"workers", true}, {"isps", true}, {"measure", true}, {"domains", true},
-		{"only", false}, {"series", false},
-	}
-	for _, f := range modeFlags {
-		if set[f.name] && f.campaign != *campaign {
-			hint := "requires -campaign"
-			if !f.campaign {
-				hint = "is a table-mode flag; drop -campaign"
-			}
-			fmt.Fprintf(os.Stderr, "censorscan: -%s %s\n", f.name, hint)
+	for _, name := range []string{"workers", "isps", "measure", "domains", "format"} {
+		if !set[name] {
+			continue
+		}
+		if set["campaign"] && !*campaign {
+			fmt.Fprintf(os.Stderr, "censorscan: -%s is a campaign flag; it conflicts with -campaign=false\n", name)
 			os.Exit(2)
 		}
+		*campaign = true
+	}
+	if *campaign {
+		for _, name := range []string{"only", "series"} {
+			if set[name] {
+				fmt.Fprintf(os.Stderr, "censorscan: -%s is a table-mode flag; drop the campaign flags\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	scale := censor.ScalePaper
+	if *quick {
+		scale = censor.ScaleSmall
+	}
+
+	switch *format {
+	case "jsonl", "csv", "summary":
+	default:
+		fmt.Fprintf(os.Stderr, "censorscan: unknown -format %q (available: jsonl, csv, summary)\n", *format)
+		os.Exit(2)
 	}
 	measurements, err := pickMeasurements(*measure)
 	if err != nil {
@@ -72,22 +89,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := []censor.Option{censor.WithScale(censor.ScalePaper), censor.WithTimeout(*timeout)}
-	if *quick {
-		opts[0] = censor.WithScale(censor.ScaleSmall)
-	}
+	opts := []censor.Option{censor.WithScale(scale), censor.WithTimeout(*timeout)}
 	if *seed != 0 {
 		opts = append(opts, censor.WithSeed(*seed))
 	}
-	if *isps != "" {
-		opts = append(opts, censor.WithVantages(splitList(*isps)...))
+	if vantages := splitList(*isps); len(vantages) > 0 {
+		opts = append(opts, censor.WithVantages(vantages...))
 	}
 
 	start := time.Now()
+	// NewSession validates vantages against the world's profile list
+	// before paying for the build, listing the available ISPs on a typo.
 	sess, err := censor.NewSession(ctx, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "world built in %v (%v)\n", time.Since(start), sess.World().Net)
 
@@ -97,7 +113,7 @@ func main() {
 		// kill-on-SIGINT (neither observes a context).
 		ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
 		defer stop()
-		if err := runCampaign(ctx, sess, *workers, measurements, *domains); err != nil {
+		if err := runCampaign(ctx, sess, *workers, measurements, *domains, *format); err != nil {
 			fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
 			os.Exit(1)
 		}
@@ -106,28 +122,27 @@ func main() {
 	runTables(sess, *quick, *only, *series)
 }
 
-// pickMeasurements resolves -measure kinds (nil = campaign default: all).
+// pickMeasurements resolves -measure names against the detector registry
+// (nil = campaign default: every registered detector).
 func pickMeasurements(measure string) ([]censor.Measurement, error) {
 	if measure == "" {
 		return nil, nil
 	}
-	byKind := map[string]censor.Measurement{}
-	for _, m := range censor.Measurements() {
-		byKind[m.Kind()] = m
-	}
 	var out []censor.Measurement
 	for _, k := range splitList(measure) {
-		m, ok := byKind[k]
+		m, ok := censor.Lookup(k)
 		if !ok {
-			return nil, fmt.Errorf("unknown measurement %q", k)
+			return nil, fmt.Errorf("unknown detector %q (registered: %s)",
+				k, strings.Join(censor.Names(), ", "))
 		}
 		out = append(out, m)
 	}
 	return out, nil
 }
 
-// runCampaign streams the uniform-record campaign to stdout.
-func runCampaign(ctx context.Context, sess *censor.Session, workers int, measurements []censor.Measurement, domainCap int) error {
+// runCampaign streams the uniform-record campaign to stdout in the
+// requested format.
+func runCampaign(ctx context.Context, sess *censor.Session, workers int, measurements []censor.Measurement, domainCap int, format string) error {
 	pbw := sess.PBWDomains()
 	if domainCap > 0 && domainCap < len(pbw) {
 		pbw = pbw[:domainCap]
@@ -139,7 +154,19 @@ func runCampaign(ctx context.Context, sess *censor.Session, workers int, measure
 	if err != nil {
 		return err
 	}
-	return stream.WriteJSONL(os.Stdout)
+	switch format {
+	case "csv":
+		return stream.Drain(censor.NewCSVSink(os.Stdout))
+	case "summary":
+		agg := censor.NewAggregateSink()
+		if err := stream.Drain(agg); err != nil {
+			return err
+		}
+		fmt.Print(agg.Summary())
+		return nil
+	default:
+		return stream.Drain(censor.NewJSONLSink(os.Stdout))
+	}
 }
 
 // runTables renders the paper's tables and figures via the suite.

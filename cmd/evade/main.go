@@ -1,6 +1,8 @@
-// Command evade demonstrates the §5 anti-censorship techniques against
-// every censoring ISP in the simulated world, printing which technique
-// defeated which middlebox type.
+// Command evade demonstrates the §5 anti-censorship techniques through
+// the public censor.Evasion measurement: for each censoring ISP it picks
+// a few truly blocked domains (via the oracle, to keep the demo fast),
+// measures them, and prints the per-technique success matrix plus the
+// aggregated summary.
 //
 // Usage:
 //
@@ -14,7 +16,6 @@ import (
 	"os"
 
 	"repro/censor"
-	"repro/internal/anticensor"
 	"repro/internal/websim"
 )
 
@@ -27,17 +28,17 @@ func main() {
 	if *quick {
 		scale = censor.ScaleSmall
 	}
-	sess, err := censor.NewSession(context.Background(), censor.WithScale(scale))
+	ctx := context.Background()
+	sess, err := censor.NewSession(ctx, censor.WithScale(scale))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "evade: %v\n", err)
 		os.Exit(1)
 	}
 	w := sess.World()
+	agg := censor.NewAggregateSink()
 
 	for _, name := range []string{"Airtel", "Idea", "Vodafone", "Jio"} {
 		isp := w.ISP(name)
-		v := censor.MustVantage(sess, name)
-		p := v.Probe()
 		var blocked []string
 		for _, d := range isp.HTTPList {
 			site, ok := w.Catalog.Site(d)
@@ -52,18 +53,29 @@ func main() {
 			}
 		}
 		fmt.Printf("== %s (%s) — %d blocked domains ==\n", name, isp.Censor, len(blocked))
-		for _, d := range blocked {
-			fmt.Printf("  %s\n", d)
-			for _, tech := range anticensor.AllTechniques {
-				ok := false
-				for r := 0; r < 3 && !ok; r++ {
-					ok = anticensor.Evade(p, tech, d).Success
-				}
+		results, err := sess.Measure(ctx, name, censor.Evasion(), blocked...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evade: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			agg.Write(r)
+			fmt.Printf("  %s\n", r.Domain)
+			if r.Error != "" {
+				fmt.Printf("    measurement failed: %s\n", r.Error)
+				continue
+			}
+			det, ok := censor.DetailAs[censor.EvasionDetail](r)
+			if !ok {
+				fmt.Printf("    not censored at baseline (mechanism=%q)\n", r.Mechanism)
+				continue
+			}
+			for _, t := range det.Techniques {
 				status := "evaded"
-				if !ok {
+				if !t.Success {
 					status = "still blocked"
 				}
-				fmt.Printf("    %-24s %s\n", tech, status)
+				fmt.Printf("    %-24s %s\n", t.Technique, status)
 			}
 		}
 		fmt.Println()
@@ -71,8 +83,6 @@ func main() {
 
 	for _, name := range []string{"MTNL", "BSNL"} {
 		isp := w.ISP(name)
-		v := censor.MustVantage(sess, name)
-		p := v.Probe()
 		var victim string
 		for _, d := range isp.DNSList {
 			site, ok := w.Catalog.Site(d)
@@ -86,8 +96,25 @@ func main() {
 		if victim == "" {
 			continue
 		}
-		at := anticensor.Evade(p, anticensor.TechAltResolver, victim)
-		fmt.Printf("== %s (dns-poisoning) — %s via %s: success=%v ==\n",
-			name, victim, anticensor.TechAltResolver, at.Success)
+		results, err := sess.Measure(ctx, name, censor.Evasion(), victim)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evade: %v\n", err)
+			os.Exit(1)
+		}
+		r := results[0]
+		agg.Write(r)
+		success := false
+		if det, ok := censor.DetailAs[censor.EvasionDetail](r); ok {
+			for _, t := range det.Techniques {
+				if t.Technique == "alternate-resolver" {
+					success = t.Success
+				}
+			}
+		}
+		fmt.Printf("== %s (dns-poisoning) — %s via alternate-resolver: success=%v ==\n",
+			name, victim, success)
 	}
+
+	fmt.Println()
+	fmt.Print(agg.Summary())
 }

@@ -1,12 +1,17 @@
-// Command nettracer demonstrates the Iterative Network Tracer (Figure 1)
-// inside a chosen ISP: plain traceroute to a censored site, then the
-// per-TTL crafted-GET sweep that locates the censoring middlebox, and the
-// DNS-variant trace that distinguishes resolver poisoning from on-path
-// injection.
+// Command nettracer fingerprints censoring middleboxes through the
+// public censor.Fingerprint measurement: inside a chosen ISP it measures
+// a censored domain — iterative tracer localization, wiretap vs
+// interceptive classification, statefulness, visibility and injection
+// signature — then runs the DNS-variant fingerprint in a DNS-poisoning
+// ISP to show the resolver-poisoning-not-injection verdict of §3.2.
 //
 // Usage:
 //
-//	nettracer [-isp Airtel] [-quick]
+//	nettracer [-isp Idea] [-quick]
+//
+// Note: at the reduced scale the wiretap ISPs (Airtel, Jio) may censor no
+// client→site paths at all — their boxes sit on paths toward other
+// destinations; use the interceptive ISPs or drop -quick=true for them.
 package main
 
 import (
@@ -14,16 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/censor"
-	"repro/internal/experiments"
-	"repro/internal/probe"
 	"repro/internal/websim"
 )
 
 func main() {
-	ispName := flag.String("isp", "Airtel", "ISP to trace inside (Airtel, Idea, Vodafone, Jio)")
+	ispName := flag.String("isp", "Idea", "ISP to trace inside (Airtel, Idea, Vodafone, Jio)")
 	quick := flag.Bool("quick", true, "use the reduced world")
 	flag.Parse()
 
@@ -31,7 +33,8 @@ func main() {
 	if *quick {
 		scale = censor.ScaleSmall
 	}
-	sess, err := censor.NewSession(context.Background(),
+	ctx := context.Background()
+	sess, err := censor.NewSession(ctx,
 		censor.WithScale(scale), censor.WithVantages(*ispName, "MTNL"))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nettracer: %v\n", err)
@@ -40,55 +43,32 @@ func main() {
 	w := sess.World()
 	isp := w.ISP(*ispName)
 
-	// Find a censored (domain, destination) by probing the ISP's own
-	// blocked list against site addresses (measurement-only knowledge
-	// would come from a detection sweep; the list makes the demo fast).
+	// Pick a censored domain from the ISP's own list (measurement-only
+	// knowledge would come from a detection sweep; the list makes the
+	// demo fast).
 	var domain string
-	var dst = isp.Client.Addr() // placeholder
 	for _, d := range isp.HTTPList {
 		site, ok := w.Catalog.Site(d)
 		if !ok || site.Kind != websim.KindNormal {
 			continue
 		}
-		addr := site.Addr(websim.RegionIN)
-		if blocked, _ := w.HTTPTruthOnPath(isp.Client, addr, d); blocked {
-			domain, dst = d, addr
+		if tr := w.TruthFor(isp, d); tr.HTTPFiltered {
+			domain = d
 			break
 		}
 	}
 	if domain == "" {
-		// Destination-agnostic fallback: any Alexa address.
-		for _, a := range w.Catalog.Alexa {
-			for _, d := range isp.HTTPList {
-				if blocked, _ := w.HTTPTruthOnPath(isp.Client, a.Addr(websim.RegionUS), d); blocked {
-					domain, dst = d, a.Addr(websim.RegionUS)
-					break
-				}
-			}
-			if domain != "" {
-				break
-			}
-		}
-	}
-	if domain == "" {
-		fmt.Println("no censored path found from this client")
+		fmt.Printf("no censored site path from inside %s at this scale (wiretap boxes sit on other paths); try -isp Idea or -quick=false\n", *ispName)
 		return
 	}
 
-	fmt.Printf("== plain traceroute to %v (censored domain: %s) ==\n", dst, domain)
-	tr := probe.Traceroute(isp.Client, dst, 30, 300*time.Millisecond)
-	for _, h := range tr.Hops {
-		if h.Asterisk {
-			fmt.Printf("  %2d  *\n", h.TTL)
-		} else {
-			fmt.Printf("  %2d  %v\n", h.TTL, h.Addr)
-		}
+	fmt.Printf("== fingerprinting the middlebox censoring %s in %s ==\n", domain, *ispName)
+	results, err := sess.Measure(ctx, *ispName, censor.Fingerprint(), domain)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nettracer: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Printf("  %2d  destination (n=%d)\n\n", tr.N, tr.N)
-
-	fmt.Println("== iterative network tracer (crafted GETs with increasing TTL) ==")
-	it := probe.IterativeTraceHTTP(isp.Client, dst, domain, 3*time.Second)
-	fmt.Print(experiments.RenderFigure1(&experiments.Figure1Result{ISP: isp.Name, Domain: domain, Trace: it}))
+	printFingerprint(results[0])
 
 	// DNS variant, against a DNS-censoring ISP.
 	mtnl := w.ISP("MTNL")
@@ -99,12 +79,55 @@ func main() {
 			break
 		}
 	}
-	fmt.Printf("\n== DNS tracer variant (MTNL resolver, %s) ==\n", victim)
-	dt := probe.IterativeTraceDNS(mtnl.Client, mtnl.DefaultResolver, victim, time.Second)
-	fmt.Printf("  resolver at hop %d; first manipulated answer at hop %d\n", dt.ResolverHop, dt.AnswerHop)
-	if dt.Injected {
+	if victim == "" {
+		return
+	}
+	fmt.Printf("\n== DNS fingerprint variant (MTNL resolver, %s) ==\n", victim)
+	results, err = sess.Measure(ctx, "MTNL", censor.Fingerprint(), victim)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nettracer: %v\n", err)
+		os.Exit(1)
+	}
+	r := results[0]
+	det, ok := censor.DetailAs[censor.FingerprintDetail](r)
+	if !ok || !det.DNSPoisoned {
+		fmt.Println("  no DNS manipulation observed")
+		return
+	}
+	fmt.Printf("  resolver at hop %d; first manipulated answer at hop %d\n", det.ResolverHop, det.AnswerHop)
+	if det.DNSInjected {
 		fmt.Println("  verdict: on-path DNS injection")
 	} else {
 		fmt.Println("  verdict: resolver poisoning (answers only from the last hop, as the paper found)")
+	}
+}
+
+// printFingerprint renders one fingerprint result's detail.
+func printFingerprint(r censor.Result) {
+	if !r.Blocked {
+		fmt.Printf("  %s: no censorship observed (error=%q)\n", r.Domain, r.Error)
+		return
+	}
+	det, ok := censor.DetailAs[censor.FingerprintDetail](r)
+	if !ok {
+		fmt.Printf("  %s: blocked (mechanism=%s) but no fingerprint detail\n", r.Domain, r.Mechanism)
+		return
+	}
+	fmt.Printf("  mechanism:        %s\n", r.Mechanism)
+	fmt.Printf("  box type:         %s\n", det.BoxType)
+	switch {
+	case det.Covert:
+		fmt.Println("  visibility:       covert (bare forged RST)")
+	case det.Overt:
+		fmt.Printf("  visibility:       overt (notification page, signature=%q)\n", det.SignatureISP)
+	}
+	if det.CensorHop > 0 {
+		fmt.Printf("  located at hop:   %d of %d (iterative tracer)\n", det.CensorHop, det.PathHops)
+	}
+	if det.StatefulChecked {
+		fmt.Printf("  stateful:         %v (handshake required before the trigger fires)\n", det.Stateful)
+	}
+	if det.IPID != 0 {
+		fmt.Printf("  IP-ID signature:  %d on injected packets\n", det.IPID)
 	}
 }

@@ -8,7 +8,10 @@
 // The root package holds only the benchmark harness (bench_test.go), one
 // benchmark per table and figure in the paper's evaluation. The public
 // API is the top-level censor package — a context-aware measurement
-// session with concurrent, deterministic campaigns — with the library
-// underneath in internal/ (internal/core is a deprecated alias shim).
+// session whose detectors live in an extensible registry (censor.Register
+// / Lookup / Names; every analysis of the paper is a named measurement,
+// from the five probe detectors to evasion, ooni and fingerprint), with
+// concurrent deterministic campaigns streaming to pluggable sinks (JSONL,
+// CSV, in-memory aggregation). The library underneath lives in internal/.
 // See README.md for a quickstart.
 package repro

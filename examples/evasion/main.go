@@ -84,9 +84,9 @@ func main() {
 		fmt.Printf("   evasion succeeded:  %v\n\n", ok)
 	}
 
-	// And the full matrix on one ISP for completeness.
-	v := censor.MustVantage(sess, "Idea")
-	p := v.Probe()
+	// And the full matrix on one ISP, through the public Evasion
+	// measurement this time: one Result per domain, the per-technique
+	// outcomes in its typed EvasionDetail.
 	isp := w.ISP("Idea")
 	var blocked []string
 	for _, d := range isp.HTTPList {
@@ -101,11 +101,33 @@ func main() {
 			break
 		}
 	}
-	m := anticensor.RunMatrix(p, blocked, anticensor.AllTechniques, 2)
-	fmt.Printf("== full matrix, Idea: evaded %d/%d domains ==\n", m.AnyPerDomain, m.Tried)
+	results, err := sess.Measure(context.Background(), "Idea", censor.Evasion(), blocked...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evasion: %v\n", err)
+		os.Exit(1)
+	}
+	// Denominator: domains actually censored at baseline (the ones that
+	// carry an EvasionDetail) — the matrix rows the paper reports.
+	censored, evaded, success := 0, 0, map[string]int{}
+	for _, r := range results {
+		det, ok := censor.DetailAs[censor.EvasionDetail](r)
+		if !ok {
+			continue
+		}
+		censored++
+		if det.Evaded {
+			evaded++
+		}
+		for _, t := range det.Techniques {
+			if t.Success {
+				success[t.Technique]++
+			}
+		}
+	}
+	fmt.Printf("== full matrix, Idea: evaded %d/%d censored domains ==\n", evaded, censored)
 	var lines []string
 	for _, t := range anticensor.AllTechniques {
-		lines = append(lines, fmt.Sprintf("   %-24s %d/%d", t, m.Success[t], m.Tried))
+		lines = append(lines, fmt.Sprintf("   %-24s %d/%d", t, success[string(t)], censored))
 	}
 	fmt.Println(strings.Join(lines, "\n"))
 }

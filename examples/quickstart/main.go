@@ -65,4 +65,26 @@ func main() {
 	} else {
 		fmt.Println("TCP/IP filtering detected — unexpected for this world.")
 	}
+
+	// Campaigns also stream into pluggable sinks. Detectors resolve by
+	// name from the registry (censor.Names() lists all of them, including
+	// any you censor.Register yourself), and the aggregate sink folds the
+	// stream into the paper's summary shapes.
+	dns, _ := censor.Lookup("dns")
+	http, _ := censor.Lookup("http")
+	stream, err = sess.Run(ctx, censor.Campaign{
+		Domains:      sess.PBWDomains()[:25],
+		Measurements: []censor.Measurement{dns, http},
+	}, censor.WithVantages("MTNL", "Idea"), censor.WithWorkers(4))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+	agg := censor.NewAggregateSink()
+	if err := stream.Drain(agg); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(agg.Summary())
 }

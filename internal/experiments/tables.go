@@ -21,8 +21,9 @@ type Table1Row struct {
 	Total, DNS, TCP, HTTP ooni.Accuracy
 }
 
-// Table1 runs the OONI replica on each ISP and scores it against the
-// oracle (standing in for the authors' manual verification).
+// Table1 runs the censor package's ooni measurement on each ISP and
+// scores it against the oracle (standing in for the authors' manual
+// verification).
 func (s *Suite) Table1(isps []string) []Table1Row {
 	domains := s.World.Catalog.PBWDomains()
 	if s.Opt.OONISample > 0 && s.Opt.OONISample < len(domains) {
@@ -31,8 +32,14 @@ func (s *Suite) Table1(isps []string) []Table1Row {
 	var rows []Table1Row
 	for _, name := range isps {
 		isp := s.World.ISP(name)
-		runner := ooni.NewRunner(s.World, isp)
-		rep := runner.RunAll(domains)
+		results, err := s.Session.Measure(context.Background(), name, censor.OONI(), domains...)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: table 1: %v", err))
+		}
+		rep := ooni.NewReport(name)
+		for _, r := range results {
+			rep.Add(r.Domain, ooni.Blocking(r.Mechanism))
+		}
 		// Ground truth follows the paper's scoring: the study's full
 		// findings. For DNS that is the union over all the ISP's
 		// resolvers (OONI only ever consults the default one — the root
@@ -200,31 +207,30 @@ type Section5Row struct {
 	Matrix *anticensor.Matrix
 }
 
-// Section5 runs every evasion technique against observed-blocked domains
-// in every HTTP-censoring ISP, plus the alternate-resolver evasion in the
-// DNS-censoring ones.
+// Section5 runs the censor package's evasion measurement against
+// observed-blocked domains in every HTTP-censoring ISP, plus the
+// poisoned domains of the DNS-censoring ones, and folds the per-domain
+// EvasionDetails into the paper's technique × ISP matrix.
 func (s *Suite) Section5() []Section5Row {
 	var rows []Section5Row
 	for _, name := range HTTPCensors {
-		p := s.probeFor(name)
-		// Use the coverage scan's observed blocked set, preferring
-		// stable (normal-kind) sites whose real content can render.
-		blocked := s.coverageFor(name).BlockedUnion
-		var sample []string
-		for _, d := range blocked {
+		// Candidates come from the coverage scan's observed blocked set,
+		// preferring stable (normal-kind) sites whose real content can
+		// render. The evasion measurement's own baseline decides which
+		// candidates actually have a censored site path and count toward
+		// the sample (at small scales a wiretap ISP may censor no site
+		// paths at all; its row then reads 0/0, like the skipped wiretap
+		// cases in the unit tests).
+		var candidates []string
+		for _, d := range s.coverageFor(name).BlockedUnion {
 			if site, ok := s.World.Catalog.Site(d); ok && site.Kind == websim.KindNormal {
-				sample = append(sample, d)
-			}
-			if len(sample) >= s.Opt.EvasionSample {
-				break
+				candidates = append(candidates, d)
 			}
 		}
-		m := anticensor.RunMatrix(p, sample, anticensor.AllTechniques, 2)
-		rows = append(rows, Section5Row{ISP: name, Matrix: m})
+		rows = append(rows, Section5Row{ISP: name, Matrix: s.evasionMatrix(name, candidates)})
 	}
 	for _, name := range DNSCensors {
 		isp := s.World.ISP(name)
-		p := s.probeFor(name)
 		var victims []string
 		for _, d := range isp.DNSList {
 			site, ok := s.World.Catalog.Site(d)
@@ -237,10 +243,52 @@ func (s *Suite) Section5() []Section5Row {
 				break
 			}
 		}
-		m := anticensor.RunMatrix(p, victims, []anticensor.Technique{anticensor.TechAltResolver}, 0)
-		rows = append(rows, Section5Row{ISP: name, Matrix: m})
+		rows = append(rows, Section5Row{ISP: name, Matrix: s.evasionMatrix(name, victims)})
 	}
 	return rows
+}
+
+// evasionMatrix measures candidates through censor.Evasion in chunks of
+// the sample size — batched Measure calls share the vantage and its
+// Tor-verification cache within a chunk, and chunking stops as soon as
+// the quota of baseline-censored domains is met, so neither an
+// all-censored nor an all-clean candidate list over-measures. Candidates
+// the baseline clears (no censorship on the user's own fetch path) do
+// not join the sample; the total candidates scanned are capped at a
+// small multiple of the sample size so an ISP with no censored site
+// paths stays cheap.
+func (s *Suite) evasionMatrix(name string, candidates []string) *anticensor.Matrix {
+	m := &anticensor.Matrix{ISP: name, Success: map[anticensor.Technique]int{}}
+	if limit := 8 * s.Opt.EvasionSample; len(candidates) > limit {
+		candidates = candidates[:limit]
+	}
+	chunk := s.Opt.EvasionSample
+	for start := 0; start < len(candidates) && m.Tried < s.Opt.EvasionSample; start += chunk {
+		end := min(start+chunk, len(candidates))
+		results, err := s.Session.Measure(context.Background(), name, censor.Evasion(), candidates[start:end]...)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: section 5: %v", err))
+		}
+		for _, r := range results {
+			if m.Tried >= s.Opt.EvasionSample {
+				break
+			}
+			d, ok := censor.DetailAs[censor.EvasionDetail](r)
+			if !ok {
+				continue // not censored at baseline: not part of the §5 sample
+			}
+			m.Tried++
+			if d.Evaded {
+				m.AnyPerDomain++
+			}
+			for _, o := range d.Techniques {
+				if o.Success {
+					m.Success[anticensor.Technique(o.Technique)]++
+				}
+			}
+		}
+	}
+	return m
 }
 
 // RenderSection5 prints the evasion matrix.

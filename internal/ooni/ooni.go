@@ -210,30 +210,43 @@ type Report struct {
 	ISP string
 	// Flagged maps each mechanism to the set of domains OONI flagged.
 	FlaggedDNS, FlaggedTCP, FlaggedHTTP, FlaggedAny map[string]bool
-	Measurements                                    []Measurement
+	// Measurements holds the raw per-domain records when the report was
+	// built by RunAll; flag-only builders (Add) leave it empty.
+	Measurements []Measurement
+}
+
+// NewReport builds an empty report for an ISP.
+func NewReport(isp string) *Report {
+	return &Report{
+		ISP:        isp,
+		FlaggedDNS: map[string]bool{}, FlaggedTCP: map[string]bool{},
+		FlaggedHTTP: map[string]bool{}, FlaggedAny: map[string]bool{},
+	}
+}
+
+// Add buckets one verdict into the report's flag sets — the single home
+// of OONI's verdict→mechanism bucketing rules.
+func (rep *Report) Add(domain string, v Blocking) {
+	switch v {
+	case BlockingDNS:
+		rep.FlaggedDNS[domain] = true
+	case BlockingTCP:
+		rep.FlaggedTCP[domain] = true
+	case BlockingHTTPDiff, BlockingHTTPFailure:
+		rep.FlaggedHTTP[domain] = true
+	}
+	if v != BlockingNone {
+		rep.FlaggedAny[domain] = true
+	}
 }
 
 // RunAll measures every domain and buckets the flags.
 func (r *Runner) RunAll(domains []string) *Report {
-	rep := &Report{
-		ISP:        r.ISP.Name,
-		FlaggedDNS: map[string]bool{}, FlaggedTCP: map[string]bool{},
-		FlaggedHTTP: map[string]bool{}, FlaggedAny: map[string]bool{},
-	}
+	rep := NewReport(r.ISP.Name)
 	for _, d := range domains {
 		m := r.Run(d)
 		rep.Measurements = append(rep.Measurements, m)
-		switch m.Verdict {
-		case BlockingDNS:
-			rep.FlaggedDNS[d] = true
-		case BlockingTCP:
-			rep.FlaggedTCP[d] = true
-		case BlockingHTTPDiff, BlockingHTTPFailure:
-			rep.FlaggedHTTP[d] = true
-		}
-		if m.Verdict != BlockingNone {
-			rep.FlaggedAny[d] = true
-		}
+		rep.Add(d, m.Verdict)
 	}
 	return rep
 }

@@ -235,6 +235,30 @@ func (p *Probe) TriggerExperiments(domain string, dst netip.Addr) *TriggerReport
 	return rep
 }
 
+// NoHandshakeTriggers injects a lone PSH GET for domain toward dst on a
+// flow the network never saw handshake, with a TTL that expires at hop
+// pathHops-1 (one short of the server, past any middlebox) so that any
+// FIN/RST coming back is a middlebox's own. It reports whether the
+// un-handshaked request still drew a censorship-style teardown — false
+// for the stateful boxes of §4.2.1, which track handshakes before
+// matching. pathHops comes from a prior traceroute; values below 2
+// cannot isolate the box and report false.
+func (p *Probe) NoHandshakeTriggers(domain string, dst netip.Addr, pathHops int) bool {
+	if pathHops < 2 {
+		return false
+	}
+	ep := p.ISP.Client
+	get := httpwire.NewGET("/").Header("Host", domain).Bytes()
+	ep.Host.StartCapture()
+	defer ep.Host.StopCapture()
+	ep.Host.Send(rawTCP(ep, dst, &netpkt.TCPSegment{
+		SrcPort: 47101, DstPort: 80, Seq: 9500, Ack: 1,
+		Flags: netpkt.PSH | netpkt.ACK, Payload: get, Window: 65535,
+	}, uint8(pathHops-1)))
+	p.World.Eng.RunFor(p.Timeout / 2)
+	return capturedCensorship(ep, 47101)
+}
+
 // capturedCensorship looks for a censorship-looking TCP response to the
 // given raw source port in the endpoint's capture.
 func capturedCensorship(ep *ispnet.Endpoint, srcPort uint16) bool {
