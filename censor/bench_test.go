@@ -4,7 +4,63 @@ import (
 	"context"
 	"fmt"
 	"testing"
+
+	"repro/internal/ispnet"
 )
+
+// BenchmarkWorldBuild prices one world construction per preset — the cost
+// the campaign replica pool amortizes from one-per-task down to
+// one-per-worker.
+func BenchmarkWorldBuild(b *testing.B) {
+	for _, name := range []string{"small", "paper-2018"} {
+		sc := MustLookupScenario(name)
+		cfg, err := sc.lower().Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ispnet.NewWorld(cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignReplicas compares the pooled runner (build one world
+// per worker, Reset between tasks) against the pre-pooling behaviour
+// (build one world per task). Identical output — the determinism tests
+// assert byte-equality — so the delta is pure world-build savings:
+// 18 tasks over 4 workers builds 4 worlds pooled vs 18 fresh.
+func BenchmarkCampaignReplicas(b *testing.B) {
+	sess, err := NewSession(context.Background(), WithScenario(MustLookupScenario("small")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	campaign := Campaign{
+		Domains:      sess.PBWDomains()[:8],
+		Measurements: []Measurement{DNS(), HTTP()},
+	}
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"pooled", []Option{WithWorkers(4)}},
+		{"fresh", []Option{WithWorkers(4), withFreshReplicaWorlds()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stream, err := sess.Run(context.Background(), campaign, mode.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := stream.Collect(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkCampaignThroughput measures end-to-end campaign throughput —
 // world replication, the worker pool, the stable-order merger and the
@@ -13,7 +69,7 @@ import (
 // determinism fails the run); BENCH_campaign.json records the first
 // recorded baseline.
 func BenchmarkCampaignThroughput(b *testing.B) {
-	sess, err := NewSession(context.Background(), WithScale(ScaleSmall))
+	sess, err := NewSession(context.Background(), WithScenario(MustLookupScenario("small")))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -103,26 +103,44 @@ type task struct {
 	m       Measurement
 }
 
+// withFreshReplicaWorlds disables the per-worker replica pool for one
+// run, rebuilding a world per task — the pre-pooling behaviour.
+// Unexported: it exists so the benchmarks can price the pool's win and
+// the determinism tests can cross-check pooled against fresh output.
+func withFreshReplicaWorlds() Option {
+	return func(c *config) { c.freshReplicas = true }
+}
+
 // Run executes a campaign and returns its result stream. Options override
 // the session's defaults for this run only (vantages, workers, timeout,
 // attempts).
 //
-// Scheduling is deterministic by construction: each task runs in a fresh
-// world built from the session's seed, so its results do not depend on
-// which worker executes it or when; the merger then emits task outputs in
-// task order. WithWorkers(N) for any N ≥ 1 therefore yields byte-identical
-// streams.
+// Scheduling is deterministic by construction: each task runs in a
+// pristine replica of the session's world — same scenario, same seed — so
+// its results do not depend on which worker executes it or when; the
+// merger then emits task outputs in task order. WithWorkers(N) for any
+// N ≥ 1 therefore yields byte-identical streams.
+//
+// Replicas are pooled per worker: a worker builds its world once, and
+// after each task an engine-level reset rewinds it to the just-built
+// state (the reset world is indistinguishable from a fresh build — that
+// is the pooling contract the determinism tests enforce). A campaign
+// therefore pays for at most workers world builds instead of one per
+// (vantage, measurement) task.
 func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stream, error) {
 	cfg := s.cfg
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
 	}
 	// Only vantages/workers/timeout/attempts are overridable per run:
 	// replica worlds must mirror the session world that supplied the
 	// domain list and validated the vantages, or the determinism contract
 	// (and the catalog itself) breaks.
 	if !reflect.DeepEqual(cfg.world, s.cfg.world) {
-		return nil, fmt.Errorf("censor: world options (WithScale/WithSeed/WithWorldConfig) are fixed per session; start a new Session instead")
+		return nil, fmt.Errorf("censor: world options (WithScenario/WithScale/WithSeed) are fixed per session; start a new Session instead")
 	}
 	for _, name := range cfg.vantages {
 		if s.world.ISP(name) == nil {
@@ -176,8 +194,25 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Replica pool, one slot per worker: the world is built for
+			// the worker's first task and handed back after each task with
+			// an engine-level Reset restoring pristine state, so a
+			// campaign builds at most `workers` worlds.
+			var world *ispnet.World
 			for i := range idxCh {
-				results[i] = runTask(ctx, cfg, tasks[i], domains)
+				if ctx.Err() != nil {
+					close(done[i])
+					continue
+				}
+				if world == nil {
+					world = ispnet.NewWorld(cfg.world)
+				}
+				results[i] = runTask(ctx, world, cfg, tasks[i], domains)
+				if cfg.freshReplicas {
+					world = nil
+				} else {
+					world.Reset()
+				}
 				close(done[i])
 			}
 		}()
@@ -210,19 +245,19 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 	return st, nil
 }
 
-// runTask builds the task's private world replica and measures every
-// domain in order, stopping at the first context cancellation.
+// runTask measures every campaign domain in order on the worker's pooled
+// world replica, stopping at the first context cancellation.
 //
-// One replica per (vantage, measurement) is deliberate: the ~100ms build
-// is negligible against the measurement sweep, it gives the worker pool
-// finer units to balance, and — more importantly — every detector sees a
-// pristine network, so no detector's verdicts depend on the engine state
-// an earlier detector left behind.
-func runTask(ctx context.Context, cfg config, t task, domains []string) []Result {
+// A pristine world per (vantage, measurement) task is deliberate: every
+// detector sees an untouched network, so no detector's verdicts depend on
+// the engine state an earlier detector left behind. Pooling preserves
+// exactly that property — Reset rewinds the replica to its just-built
+// state between tasks — while paying the build cost once per worker
+// instead of once per task.
+func runTask(ctx context.Context, world *ispnet.World, cfg config, t task, domains []string) []Result {
 	if ctx.Err() != nil {
 		return nil
 	}
-	world := ispnet.NewWorld(cfg.world)
 	v, err := newVantage(world, t.vantage, cfg)
 	if err != nil {
 		// Vantages were validated against the session world; a replica

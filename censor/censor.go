@@ -23,9 +23,19 @@
 // into per-vantage/per-mechanism tallies — the paper's summary-table
 // shapes — in memory.
 //
+// Worlds are built from scenarios: a [Scenario] is a JSON-serializable
+// spec of global sizing plus per-ISP censorship behaviour (mechanism,
+// middlebox deployment and consistency, blocklists, resolver poisoning,
+// transit links), compiled to a packet-level world by [WithScenario].
+// Presets live in their own registry ([RegisterScenario] /
+// [LookupScenario] / [Scenarios]): "paper-2018" and "small" are the
+// paper's calibration, and "dns-only", "all-interceptive" and
+// "no-censorship" cover regimes the study never observed. The paper is
+// one point in the scenario space, not the shape of the API.
+//
 // A typical session:
 //
-//	sess, _ := censor.NewSession(ctx, censor.WithScale(censor.ScaleSmall))
+//	sess, _ := censor.NewSession(ctx, censor.WithScenario(censor.MustLookupScenario("small")))
 //	stream, _ := sess.Run(ctx, censor.Campaign{
 //		Domains:      sess.PBWDomains()[:50],
 //		Measurements: []censor.Measurement{censor.HTTP(), censor.DNS()},
@@ -75,17 +85,25 @@ var StudyISPs = []string{
 // config carries session and campaign settings; Options mutate it.
 type config struct {
 	world    ispnet.Config
+	scenario Scenario
+	err      error // deferred option error, surfaced by NewSession/Run
 	timeout  time.Duration
 	attempts int
+	// vantages nil means "not chosen": NewSession falls back to the
+	// scenario's default vantage set.
 	vantages []string
 	workers  int
+	// freshReplicas disables the campaign world pool, rebuilding a world
+	// per task — the pre-pooling behaviour, kept (unexported) so the
+	// benchmarks and the determinism tests can compare against it.
+	freshReplicas bool
 }
 
 func defaultConfig() config {
 	return config{
+		scenario: mustScenario("paper-2018"),
 		world:    ispnet.DefaultConfig(),
 		timeout:  3 * time.Second,
-		vantages: StudyISPs,
 		workers:  1,
 	}
 }
@@ -93,26 +111,51 @@ func defaultConfig() config {
 // Option configures a Session or overrides its defaults for one campaign.
 type Option func(*config)
 
-// WithScale picks one of the calibrated world sizes.
-func WithScale(s Scale) Option {
+// WithScenario builds the session's world from a scenario spec — a
+// registered preset from LookupScenario, or any Scenario the caller
+// defined in Go or unmarshalled from JSON. The spec is validated and
+// compiled here; an invalid one fails NewSession with the validation
+// error. The scenario's Vantages (or, when empty, its full ISP list)
+// becomes the default campaign vantage set unless WithVantages overrides
+// it.
+func WithScenario(s Scenario) Option {
 	return func(c *config) {
-		if s == ScaleSmall {
-			c.world = ispnet.SmallConfig()
-		} else {
-			c.world = ispnet.DefaultConfig()
+		// Full spec validation (including the censor-layer Vantages
+		// field), then the lowering to a world config.
+		if err := s.Validate(); err != nil {
+			c.err = fmt.Errorf("censor: %w", err)
+			return
 		}
+		world, err := s.lower().Compile()
+		if err != nil {
+			c.err = fmt.Errorf("censor: %w", err)
+			return
+		}
+		c.world = world
+		c.scenario = s.Clone()
 	}
+}
+
+// WithScale picks one of the calibrated world sizes.
+//
+// Deprecated: scales are just the two paper presets now — use
+// WithScenario with LookupScenario("paper-2018") or
+// LookupScenario("small"), which also opens every other preset and custom
+// world.
+func WithScale(s Scale) Option {
+	name := "paper-2018"
+	if s == ScaleSmall {
+		name = "small"
+	}
+	return WithScenario(mustScenario(name))
 }
 
 // WithSeed reseeds the world's deterministic engine.
 func WithSeed(seed int64) Option {
-	return func(c *config) { c.world.Seed = seed }
-}
-
-// WithWorldConfig installs a fully custom world configuration (in-repo
-// callers; external users size worlds with WithScale/WithSeed).
-func WithWorldConfig(cfg ispnet.Config) Option {
-	return func(c *config) { c.world = cfg }
+	return func(c *config) {
+		c.world.Seed = seed
+		c.scenario.Seed = seed
+	}
 }
 
 // WithTimeout bounds every network wait a probe performs.
@@ -181,6 +224,12 @@ func NewSession(ctx context.Context, opts ...Option) (*Session, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	if cfg.vantages == nil {
+		cfg.vantages = defaultVantages(cfg.scenario)
+	}
 	// Validate vantages against the profile list before paying for the
 	// world build, so a typo fails instantly even at paper scale — the
 	// error lists what this world offers.
@@ -205,8 +254,9 @@ func NewSession(ctx context.Context, opts ...Option) (*Session, error) {
 // session's measurement calls.
 func (s *Session) World() *ispnet.World { return s.world }
 
-// WorldConfig returns the configuration campaign workers replicate.
-func (s *Session) WorldConfig() ispnet.Config { return s.cfg.world }
+// Scenario returns a copy of the scenario this session's world was built
+// from — the spec campaign workers replicate.
+func (s *Session) Scenario() Scenario { return s.cfg.scenario.Clone() }
 
 // Vantages returns the session's configured vantage ISPs.
 func (s *Session) Vantages() []string {

@@ -16,7 +16,7 @@ var sharedSession *Session
 func session(t *testing.T) *Session {
 	t.Helper()
 	if sharedSession == nil {
-		s, err := NewSession(context.Background(), WithScale(ScaleSmall))
+		s, err := NewSession(context.Background(), WithScenario(MustLookupScenario("small")))
 		if err != nil {
 			t.Fatalf("NewSession: %v", err)
 		}
@@ -60,7 +60,7 @@ func TestSessionMeasure(t *testing.T) {
 }
 
 func TestSessionValidation(t *testing.T) {
-	if _, err := NewSession(context.Background(), WithScale(ScaleSmall), WithVantages("NoSuchISP")); err == nil {
+	if _, err := NewSession(context.Background(), WithScenario(MustLookupScenario("small")), WithVantages("NoSuchISP")); err == nil {
 		t.Error("NewSession accepted an unknown vantage")
 	}
 	cancelled, cancel := context.WithCancel(context.Background())

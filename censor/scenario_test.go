@@ -1,0 +1,421 @@
+package censor
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// presetSession builds a session for a preset by name.
+func presetSession(t *testing.T, name string, opts ...Option) *Session {
+	t.Helper()
+	sc, ok := LookupScenario(name)
+	if !ok {
+		t.Fatalf("preset %q not registered", name)
+	}
+	s, err := NewSession(context.Background(), append([]Option{WithScenario(sc)}, opts...)...)
+	if err != nil {
+		t.Fatalf("NewSession(%s): %v", name, err)
+	}
+	return s
+}
+
+// campaignJSONL digests a small fixed campaign on a session (nil domains:
+// the first six PBWs).
+func campaignJSONL(t *testing.T, s *Session, workers int, domains []string, opts ...Option) []byte {
+	t.Helper()
+	if domains == nil {
+		domains = s.PBWDomains()
+		if len(domains) > 6 {
+			domains = domains[:6]
+		}
+	}
+	stream, err := s.Run(context.Background(), Campaign{
+		Domains:      domains,
+		Measurements: []Measurement{DNS(), HTTP()},
+	}, append([]Option{WithWorkers(workers)}, opts...)...)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := stream.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestScenarioPresetRoundTrip is the preset contract: every registered
+// scenario survives JSON marshal → unmarshal → Validate with an identical
+// world — same compiled config, and a byte-identical golden campaign.
+func TestScenarioPresetRoundTrip(t *testing.T) {
+	for _, name := range Scenarios() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc := MustLookupScenario(name)
+			raw, err := json.Marshal(sc)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			var back Scenario
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if err := back.Validate(); err != nil {
+				t.Fatalf("Validate after round trip: %v", err)
+			}
+			wantCfg, err := sc.lower().Compile()
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			gotCfg, err := back.lower().Compile()
+			if err != nil {
+				t.Fatalf("Compile after round trip: %v", err)
+			}
+			if !reflect.DeepEqual(gotCfg, wantCfg) {
+				t.Fatal("compiled config changed across JSON round trip")
+			}
+			if !reflect.DeepEqual(back, sc) {
+				t.Fatal("scenario value changed across JSON round trip")
+			}
+			if name == "paper-2018" && testing.Short() {
+				t.Skip("golden campaign on the full-scale world skipped in -short")
+			}
+			orig, err := NewSession(context.Background(), WithScenario(sc))
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			rt, err := NewSession(context.Background(), WithScenario(back))
+			if err != nil {
+				t.Fatalf("NewSession(round-tripped): %v", err)
+			}
+			vantages := WithVantages(defaultVantages(sc)[:1]...)
+			want := campaignJSONL(t, orig, 2, nil, vantages)
+			got := campaignJSONL(t, rt, 2, nil, vantages)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("golden campaign diverged across JSON round trip:\n--- original ---\n%s\n--- round-tripped ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestScenarioRejection: invalid specs fail NewSession with the
+// validation error, before any world is built.
+func TestScenarioRejection(t *testing.T) {
+	base := MustLookupScenario("small")
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"negative middlebox count", func(s *Scenario) { s.ISPs[0].Middleboxes = -1 }, "negative"},
+		{"unknown transit provider", func(s *Scenario) { s.ISPs[4].Transits[0].Provider = "Hathway" }, "unknown transit provider"},
+		{"consistency above 1", func(s *Scenario) { s.ISPs[0].Consistency = 1.01 }, "outside [0,1]"},
+		{"dns consistency below 0", func(s *Scenario) { s.ISPs[4].DNSConsistency = -0.5 }, "outside [0,1]"},
+		{"unknown mechanism", func(s *Scenario) { s.ISPs[0].Mechanism = "quantum" }, "unknown mechanism"},
+		{"no ISPs", func(s *Scenario) { s.ISPs = nil }, "no ISPs"},
+		{"vantage names no ISP", func(s *Scenario) { s.Vantages = []string{"Airtel", "Typo"} }, "names no ISP"},
+		{"loss prob on interceptive", func(s *Scenario) { s.ISPs[1].WiretapLossProb = 0.3 }, "only wiretap boxes race"},
+	}
+	for _, tc := range cases {
+		sc := base.Clone()
+		tc.mutate(&sc)
+		if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate = %v, want mention of %q", tc.name, err, tc.want)
+		}
+		_, err := NewSession(context.Background(), WithScenario(sc))
+		if err == nil {
+			t.Errorf("%s: NewSession accepted the invalid scenario", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: NewSession error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestScenarioRegistry covers registration semantics: lookups deep-copy,
+// and programmer errors panic like the detector registry's.
+func TestScenarioRegistry(t *testing.T) {
+	a := MustLookupScenario("dns-only")
+	a.ISPs[0].Name = "Mutated"
+	b := MustLookupScenario("dns-only")
+	if b.ISPs[0].Name == "Mutated" {
+		t.Fatal("LookupScenario returned a shared copy")
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { RegisterScenario(Scenario{}) })
+	mustPanic("duplicate", func() { RegisterScenario(MustLookupScenario("small")) })
+	invalid := MustLookupScenario("small")
+	invalid.Name = "broken"
+	invalid.ISPs[0].Consistency = 7
+	mustPanic("invalid spec", func() { RegisterScenario(invalid) })
+}
+
+// TestScenarioVantages: a scenario's Vantages list is the campaign
+// default; empty means all ISPs; WithVantages overrides.
+func TestScenarioVantages(t *testing.T) {
+	s := presetSession(t, "dns-only")
+	if got, want := s.Vantages(), []string{"HeavyPoison", "LightPoison", "Honest"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("default vantages = %v, want all ISPs %v", got, want)
+	}
+	s = presetSession(t, "dns-only", WithVantages("Honest"))
+	if got := s.Vantages(); !reflect.DeepEqual(got, []string{"Honest"}) {
+		t.Errorf("WithVantages override = %v", got)
+	}
+	paper := MustLookupScenario("paper-2018")
+	if !reflect.DeepEqual(paper.Vantages, StudyISPs) {
+		t.Errorf("paper preset vantages = %v, want the nine study ISPs", paper.Vantages)
+	}
+}
+
+// TestWithScaleShim: the deprecated WithScale is exactly the presets.
+func TestWithScaleShim(t *testing.T) {
+	//lint:ignore SA1019 the deprecated shim is exactly what this test pins
+	s, err := NewSession(context.Background(), WithScale(ScaleSmall))
+	if err != nil {
+		t.Fatalf("NewSession(WithScale): %v", err)
+	}
+	if got := s.Scenario().Name; got != "small" {
+		t.Errorf("WithScale(ScaleSmall) scenario = %q, want small", got)
+	}
+	if got, want := s.Vantages(), StudyISPs; !reflect.DeepEqual(got, want) {
+		t.Errorf("WithScale vantages = %v, want %v", got, want)
+	}
+}
+
+// TestPooledCampaignDeterminism is the pooling regression of the
+// determinism contract, on a non-paper preset: workers=1 reuses one world
+// for every task, workers=8 builds eight, and a fresh-world-per-task run
+// is the pre-pooling reference — all three must be byte-identical. A
+// Reset that leaks any engine, stack, server or middlebox state between
+// tasks shows up here.
+func TestPooledCampaignDeterminism(t *testing.T) {
+	s := presetSession(t, "all-interceptive")
+	// Measure a mix of untouched PBWs and domains actually on the dense
+	// censor's blocklist, so the streams being compared carry censorship
+	// (and with it middlebox state worth leaking).
+	domains := append([]string(nil), s.PBWDomains()[:4]...)
+	domains = append(domains, s.World().ISP("OvertDense").HTTPList...)
+	if len(domains) > 10 {
+		domains = domains[:10]
+	}
+	sequential := campaignJSONL(t, s, 1, domains)
+	parallel := campaignJSONL(t, s, 8, domains)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatalf("pooled campaign diverged between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			sequential, parallel)
+	}
+	fresh := campaignJSONL(t, s, 8, domains, withFreshReplicaWorlds())
+	if !bytes.Equal(sequential, fresh) {
+		t.Fatalf("pooled campaign diverged from fresh-world-per-task run:\n--- pooled ---\n%s\n--- fresh ---\n%s",
+			sequential, fresh)
+	}
+	if !bytes.Contains(sequential, []byte(`"blocked":true`)) {
+		t.Error("all-interceptive campaign observed no censorship at all")
+	}
+}
+
+// TestPooledAllDetectorsDeterminism runs the full detector registry — the
+// default campaign shape — through the pooled runner. The heavy detectors
+// (fingerprint's tracer with its ICMP hooks and multi-minute virtual
+// idles, evasion's packet filters, ooni's control fetches) leave the most
+// runtime state behind, so this is the broadest leak check a Reset bug
+// could fail.
+func TestPooledAllDetectorsDeterminism(t *testing.T) {
+	s := presetSession(t, "all-interceptive")
+	domains := append([]string(nil), s.PBWDomains()[:1]...)
+	domains = append(domains, s.World().ISP("OvertDense").HTTPList[0])
+	run := func(workers int, opts ...Option) []byte {
+		stream, err := s.Run(context.Background(), Campaign{Domains: domains},
+			append([]Option{WithWorkers(workers), WithVantages("OvertDense", "Observer")}, opts...)...)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := stream.WriteJSONL(&buf); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		return buf.Bytes()
+	}
+	sequential := run(1)
+	parallel := run(8)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatalf("all-detector pooled campaign diverged between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			sequential, parallel)
+	}
+	fresh := run(8, withFreshReplicaWorlds())
+	if !bytes.Equal(sequential, fresh) {
+		t.Fatalf("all-detector pooled campaign diverged from fresh-world-per-task run:\n--- pooled ---\n%s\n--- fresh ---\n%s",
+			sequential, fresh)
+	}
+}
+
+// TestNoCensorshipControl: the control preset yields zero positives for
+// every detector — any hit is by construction a false positive.
+func TestNoCensorshipControl(t *testing.T) {
+	s := presetSession(t, "no-censorship")
+	stream, err := s.Run(context.Background(), Campaign{
+		Domains:      s.PBWDomains()[:8],
+		Measurements: []Measurement{DNS(), HTTP(), HTTPS(), TCP(), Collateral()},
+	}, WithWorkers(4))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	results, err := stream.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	for _, r := range results {
+		if r.Blocked {
+			t.Errorf("false positive on control world: %+v", r)
+		}
+	}
+}
+
+// TestPublicAPINoInternalTypes walks the package's exported API (every
+// exported func, method, struct field and var in the non-test sources)
+// and fails if a signature references a repro/internal/... type. The
+// documented oracle escape hatches — Session.World, Vantage.World,
+// Vantage.Probe — are the only allowed exceptions; the option surface in
+// particular must be fully public, so an external caller can build any
+// world from JSON alone.
+func TestPublicAPINoInternalTypes(t *testing.T) {
+	allowed := map[string]bool{
+		"Session.World": true, "Vantage.World": true, "Vantage.Probe": true,
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatalf("ParseDir: %v", err)
+	}
+	pkg, ok := pkgs["censor"]
+	if !ok {
+		t.Fatalf("package censor not found (got %v)", pkgs)
+	}
+	for fileName, file := range pkg.Files {
+		if strings.HasSuffix(fileName, "_test.go") {
+			continue
+		}
+		// Local names of internal imports in this file.
+		internal := map[string]bool{}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !strings.Contains(path, "/internal/") {
+				continue
+			}
+			name := path[strings.LastIndex(path, "/")+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			internal[name] = true
+		}
+		if len(internal) == 0 {
+			continue
+		}
+		leaks := func(n ast.Node) (string, bool) {
+			var found string
+			ast.Inspect(n, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && internal[id.Name] {
+					found = id.Name + "." + sel.Sel.Name
+					return false
+				}
+				return true
+			})
+			return found, found != ""
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				key := d.Name.Name
+				if d.Recv != nil && len(d.Recv.List) > 0 {
+					recv := d.Recv.List[0].Type
+					if star, ok := recv.(*ast.StarExpr); ok {
+						recv = star.X
+					}
+					id, ok := recv.(*ast.Ident)
+					if !ok || !id.IsExported() {
+						continue // method on an unexported type
+					}
+					key = id.Name + "." + d.Name.Name
+				}
+				if allowed[key] {
+					continue
+				}
+				if leak, ok := leaks(d.Type); ok {
+					t.Errorf("%s: exported %s references internal type %s", fileName, key, leak)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						// Only exported fields leak: walk struct fields and
+						// interface methods that are exported.
+						st, ok := sp.Type.(*ast.StructType)
+						if !ok {
+							if leak, ok := leaks(sp.Type); ok {
+								t.Errorf("%s: exported type %s references internal type %s", fileName, sp.Name.Name, leak)
+							}
+							continue
+						}
+						for _, f := range st.Fields.List {
+							exported := len(f.Names) == 0 // embedded
+							for _, n := range f.Names {
+								exported = exported || n.IsExported()
+							}
+							if !exported {
+								continue
+							}
+							if leak, ok := leaks(f.Type); ok {
+								t.Errorf("%s: exported field %s.%v references internal type %s", fileName, sp.Name.Name, f.Names, leak)
+							}
+						}
+					case *ast.ValueSpec:
+						for i, n := range sp.Names {
+							if !n.IsExported() {
+								continue
+							}
+							if sp.Type != nil {
+								if leak, ok := leaks(sp.Type); ok {
+									t.Errorf("%s: exported %s references internal type %s", fileName, n.Name, leak)
+								}
+								continue
+							}
+							// Consts with inferred types copy untyped values
+							// (string(...) conversions, numeric constants) —
+							// not a type leak. Vars with inferred types take
+							// the initializer's type, so an internal
+							// expression there does leak.
+							if d.Tok == token.VAR && i < len(sp.Values) {
+								if leak, ok := leaks(sp.Values[i]); ok {
+									t.Errorf("%s: exported var %s infers internal type from %s", fileName, n.Name, leak)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,10 @@
 // every registered measurement (built-in or external) is reachable via
 // -measure. Any campaign flag implies -campaign.
 //
+// Worlds come from scenarios: -scenario accepts any registered preset
+// name (-list-scenarios shows them) or a JSON spec file, so campaigns run
+// on worlds the paper never measured — or on worlds the user invented.
+//
 // Usage:
 //
 //	censorscan [-quick] [-only table1,table2,table3,figure1,figure2,figure5,section5]
@@ -16,16 +20,22 @@
 //	censorscan -campaign -workers 4 -domains 100 > results.jsonl
 //	censorscan -isps MTNL,BSNL -measure dns,https -format csv
 //	censorscan -quick -measure evasion -domains 20 -format summary
+//	censorscan -list-scenarios
+//	censorscan -scenario dns-only -measure dns,http -format summary
+//	censorscan -scenario my_world.json -workers 8 > results.jsonl
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"repro/censor"
@@ -34,6 +44,8 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use the reduced world (fast smoke run)")
+	scenario := flag.String("scenario", "", "world scenario: a registered preset name or a JSON spec file (see -list-scenarios)")
+	listScenarios := flag.Bool("list-scenarios", false, "list the registered scenario presets and exit")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	series := flag.Bool("series", false, "dump full per-website series for figures 2 and 5")
 	campaign := flag.Bool("campaign", false, "stream a measurement campaign instead of rendering tables")
@@ -48,11 +60,20 @@ func main() {
 
 	ctx := context.Background()
 
+	if *listScenarios {
+		printScenarios(os.Stdout)
+		return
+	}
+
 	// Mode resolution: any campaign flag implies campaign mode; table-mode
 	// flags conflict with it. Everything is validated before the world is
 	// built, so a typo fails instantly even at paper scale.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["quick"] && set["scenario"] {
+		fmt.Fprintln(os.Stderr, "censorscan: -quick and -scenario both pick the world; use one")
+		os.Exit(2)
+	}
 	for _, name := range []string{"workers", "isps", "measure", "domains", "format"} {
 		if !set[name] {
 			continue
@@ -72,11 +93,6 @@ func main() {
 		}
 	}
 
-	scale := censor.ScalePaper
-	if *quick {
-		scale = censor.ScaleSmall
-	}
-
 	switch *format {
 	case "jsonl", "csv", "summary":
 	default:
@@ -88,8 +104,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
 		os.Exit(2)
 	}
+	world, preset, err := pickScenario(*scenario, *quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
+		os.Exit(2)
+	}
+	// Table mode regenerates the paper's evaluation, which only the two
+	// paper presets calibrate (a JSON spec file never qualifies, whatever
+	// its name field claims). The preset also decides the quick/paper
+	// experiment options below.
+	if !*campaign && set["scenario"] {
+		if !preset || (world.Name != "paper-2018" && world.Name != "small") {
+			fmt.Fprintf(os.Stderr, "censorscan: table mode needs the paper world; combine -scenario %s with campaign flags (-measure, -workers, ...)\n", *scenario)
+			os.Exit(2)
+		}
+	}
+	reduced := *quick || world.Name == "small"
 
-	opts := []censor.Option{censor.WithScale(scale), censor.WithTimeout(*timeout)}
+	opts := []censor.Option{censor.WithScenario(world), censor.WithTimeout(*timeout)}
 	if *seed != 0 {
 		opts = append(opts, censor.WithSeed(*seed))
 	}
@@ -119,7 +151,50 @@ func main() {
 		}
 		return
 	}
-	runTables(sess, *quick, *only, *series)
+	runTables(sess, reduced, *only, *series)
+}
+
+// pickScenario resolves the world spec: a registered preset name, a JSON
+// spec file, or the scale flags' presets. Unknown names fail fast listing
+// what is registered, before any world is built. preset reports whether
+// the spec came from the registry (a JSON file never counts, whatever
+// its name field claims).
+func pickScenario(arg string, quick bool) (sc censor.Scenario, preset bool, err error) {
+	if arg == "" {
+		if quick {
+			return censor.MustLookupScenario("small"), true, nil
+		}
+		return censor.MustLookupScenario("paper-2018"), true, nil
+	}
+	if sc, ok := censor.LookupScenario(arg); ok {
+		return sc, true, nil
+	}
+	raw, err := os.ReadFile(arg)
+	if err != nil {
+		if os.IsNotExist(err) && !strings.ContainsAny(arg, "./\\") {
+			return censor.Scenario{}, false, fmt.Errorf("unknown scenario %q (registered: %s; or pass a JSON spec file)",
+				arg, strings.Join(censor.Scenarios(), ", "))
+		}
+		return censor.Scenario{}, false, fmt.Errorf("scenario file %s: %v", arg, err)
+	}
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return censor.Scenario{}, false, fmt.Errorf("scenario file %s: %v", arg, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return censor.Scenario{}, false, fmt.Errorf("scenario file %s: %v", arg, err)
+	}
+	return sc, false, nil
+}
+
+// printScenarios renders the preset registry.
+func printScenarios(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tISPS\tPBWS\tDESCRIPTION")
+	for _, name := range censor.Scenarios() {
+		sc, _ := censor.LookupScenario(name)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", sc.Name, len(sc.ISPs), sc.PBWSites, sc.Description)
+	}
+	tw.Flush()
 }
 
 // pickMeasurements resolves -measure names against the detector registry

@@ -24,12 +24,12 @@ func main() {
 	n := flag.Int("n", 3, "blocked domains per ISP to attack")
 	flag.Parse()
 
-	scale := censor.ScalePaper
+	world := "paper-2018"
 	if *quick {
-		scale = censor.ScaleSmall
+		world = "small"
 	}
 	ctx := context.Background()
-	sess, err := censor.NewSession(ctx, censor.WithScale(scale))
+	sess, err := censor.NewSession(ctx, censor.WithScenario(censor.MustLookupScenario(world)))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "evade: %v\n", err)
 		os.Exit(1)

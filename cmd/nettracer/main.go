@@ -29,13 +29,13 @@ func main() {
 	quick := flag.Bool("quick", true, "use the reduced world")
 	flag.Parse()
 
-	scale := censor.ScalePaper
+	world := "paper-2018"
 	if *quick {
-		scale = censor.ScaleSmall
+		world = "small"
 	}
 	ctx := context.Background()
 	sess, err := censor.NewSession(ctx,
-		censor.WithScale(scale), censor.WithVantages(*ispName, "MTNL"))
+		censor.WithScenario(censor.MustLookupScenario(world)), censor.WithVantages(*ispName, "MTNL"))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nettracer: %v\n", err)
 		os.Exit(1)

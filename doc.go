@@ -13,5 +13,15 @@
 // from the five probe detectors to evasion, ooni and fingerprint), with
 // concurrent deterministic campaigns streaming to pluggable sinks (JSONL,
 // CSV, in-memory aggregation). The library underneath lives in internal/.
-// See README.md for a quickstart.
+//
+// Worlds come from the scenario layer: censor.Scenario is a public,
+// JSON-serializable world spec (sizing plus per-ISP censorship behaviour)
+// compiled down to the packet-level simulation, with a preset registry
+// (censor.RegisterScenario / LookupScenario / Scenarios) in which the
+// paper's calibration is just the "paper-2018" entry next to regimes the
+// study never observed (dns-only, all-interceptive, a no-censorship
+// control). Campaign workers pool world replicas — one build per worker,
+// engine-level reset between tasks — so parallel campaigns stay
+// byte-identical to sequential ones while building at most `workers`
+// worlds. See README.md for a quickstart.
 package repro

@@ -20,7 +20,7 @@ import (
 func main() {
 	ctx := context.Background()
 	sess, err := censor.NewSession(ctx,
-		censor.WithScale(censor.ScaleSmall), censor.WithVantages("MTNL", "BSNL"))
+		censor.WithScenario(censor.MustLookupScenario("small")), censor.WithVantages("MTNL", "BSNL"))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dns_poisoning: %v\n", err)
 		os.Exit(1)

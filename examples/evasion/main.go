@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	sess, err := censor.NewSession(context.Background(), censor.WithScale(censor.ScaleSmall))
+	sess, err := censor.NewSession(context.Background(), censor.WithScenario(censor.MustLookupScenario("small")))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "evasion: %v\n", err)
 		os.Exit(1)

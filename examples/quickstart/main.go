@@ -15,9 +15,11 @@ import (
 func main() {
 	ctx := context.Background()
 
-	// A reduced world keeps the quickstart fast; use censor.ScalePaper
-	// for the full 1200-site population.
-	sess, err := censor.NewSession(ctx, censor.WithScale(censor.ScaleSmall))
+	// Worlds are built from scenario specs; "small" is the paper's world
+	// at reduced scale ("paper-2018" is the full 1200-site population,
+	// and censor.Scenarios() lists every other preset). Custom worlds are
+	// plain censor.Scenario values — see examples/custom_scenario.
+	sess, err := censor.NewSession(ctx, censor.WithScenario(censor.MustLookupScenario("small")))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
 		os.Exit(1)

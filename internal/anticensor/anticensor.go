@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/httpwire"
+	"repro/internal/ispnet"
 	"repro/internal/netpkt"
 	"repro/internal/netsim"
 	"repro/internal/probe"
@@ -137,10 +138,10 @@ func Evade(p *probe.Probe, t Technique, domain string) *Attempt {
 		return at
 
 	case TechDropFINRST:
-		ipid := uint16(0)
-		if p.ISP.Name == "Airtel" {
-			ipid = 242 // the paper's general rule for Airtel middleboxes
-		}
+		// The paper keyed its drop rule on Airtel's pinned IP-ID 242; the
+		// profile's style carries whatever this world's censor pins (0 for
+		// censors without the signature, which disables the IP-ID rule).
+		ipid := p.ISP.Profile.Style.IPID
 		ep.Host.SetIngressFilter(FINRSTDropper(addr, ipid))
 		defer ep.Host.SetIngressFilter(nil)
 		fr := probe.GetFrom(ep, addr, domain, nil, p.Timeout)
@@ -157,7 +158,7 @@ func Evade(p *probe.Probe, t Technique, domain string) *Attempt {
 		c.SendSegmented(httpwire.NewGET("/").Header("Host", domain).Bytes(), 4)
 		eng.RunFor(p.Timeout)
 		at.Success = goodContent(c.Stream(), nil)
-		at.Censored = censoredStream(c)
+		at.Censored = censoredStream(p.World, c)
 		c.Abort()
 		eng.RunFor(10 * time.Millisecond)
 		return at
@@ -197,16 +198,12 @@ func goodContent(stream []byte, responses []*httpwire.Response) bool {
 	return false
 }
 
-func censoredStream(c *tcpsim.Conn) bool {
+func censoredStream(w *ispnet.World, c *tcpsim.Conn) bool {
 	if _, reset := c.WasReset(); reset && len(c.Stream()) == 0 {
 		return true
 	}
-	for _, sig := range probe.KnownSignatures {
-		if bytes.Contains(c.Stream(), []byte(sig.Marker)) {
-			return true
-		}
-	}
-	return false
+	_, notified := probe.MatchSignatureIn(w, c.Stream())
+	return notified
 }
 
 // Matrix evaluates every technique against a sample of an ISP's blocked

@@ -25,6 +25,15 @@ func NewClient(h *netsim.Host) *Client {
 	return &Client{host: h, nextPort: 20000, nextID: 1}
 }
 
+// Reset rewinds port and transaction-ID allocation to the
+// just-constructed state. The response handlers registered on the host for
+// in-flight queries are runtime state the host's own baseline restore
+// clears (netsim.Host.RestoreBaseline).
+func (c *Client) Reset() {
+	c.nextPort = 20000
+	c.nextID = 1
+}
+
 // alloc reserves a fresh ephemeral port and transaction ID.
 func (c *Client) alloc() (uint16, uint16) {
 	p, id := c.nextPort, c.nextID

@@ -101,6 +101,13 @@ func (r *Resolver) PoisonList() []string {
 	return out
 }
 
+// Reset clears the traffic counters. The poison list is build-time
+// configuration and stays.
+func (r *Resolver) Reset() {
+	r.Queries = 0
+	r.PoisonedAnswers = 0
+}
+
 // handle answers one DNS query datagram.
 func (r *Resolver) handle(pkt *netpkt.Packet) {
 	q, err := dnswire.Parse(pkt.UDP.Payload)

@@ -29,8 +29,9 @@ import (
 
 // Options sizes a suite run.
 type Options struct {
-	World ispnet.Config
-	Scan  probe.ScanConfig
+	// Scenario is the world spec the suite session is built from.
+	Scenario censor.Scenario
+	Scan     probe.ScanConfig
 	// OONISample caps the domains measured for Table 1 (0 = all PBWs).
 	OONISample int
 	// EvasionSample is the number of blocked domains per ISP tried in the
@@ -46,7 +47,7 @@ func DefaultOptions() Options {
 	scan := probe.DefaultScanConfig()
 	scan.Paths = 300 // destinations sampled from the Alexa list
 	return Options{
-		World:            ispnet.DefaultConfig(),
+		Scenario:         censor.MustLookupScenario("paper-2018"),
 		Scan:             scan,
 		EvasionSample:    5,
 		ClassifyAttempts: 10,
@@ -58,7 +59,7 @@ func DefaultOptions() Options {
 // per-box lists are tiny.
 func QuickOptions() Options {
 	return Options{
-		World: ispnet.SmallConfig(),
+		Scenario: censor.MustLookupScenario("small"),
 		Scan: probe.ScanConfig{
 			Paths: 36, SampleURLs: 0, Attempts: 2, OutsideTargets: 1,
 			PerURLTimeout: 600 * time.Millisecond,
@@ -81,27 +82,28 @@ type Suite struct {
 }
 
 // NewSuite builds a measurement session (and with it the world). The
-// session's vantage set is the config's own profiles, so custom worlds
+// session's vantage set is the scenario's full ISP list, so custom worlds
 // that drop a study ISP still construct (their suite runs will fail only
 // on the experiments that need the missing ISP).
 func NewSuite(opt Options) *Suite {
-	names := make([]string, 0, len(opt.World.Profiles))
-	for i := range opt.World.Profiles {
-		names = append(names, opt.World.Profiles[i].Name)
+	names := make([]string, 0, len(opt.Scenario.ISPs))
+	for i := range opt.Scenario.ISPs {
+		names = append(names, opt.Scenario.ISPs[i].Name)
 	}
 	sess, err := censor.NewSession(context.Background(),
-		censor.WithWorldConfig(opt.World), censor.WithVantages(names...))
+		censor.WithScenario(opt.Scenario), censor.WithVantages(names...))
 	if err != nil {
-		// Only reachable with a config whose profile list is empty.
+		// Only reachable with an invalid scenario spec.
 		panic(fmt.Sprintf("experiments: session: %v", err))
 	}
 	return NewSuiteWith(sess, opt)
 }
 
 // NewSuiteWith runs the evaluation on an existing session (the cmd tools
-// build one from flags). opt.World is ignored in favour of the session's.
+// build one from flags). opt.Scenario is ignored in favour of the
+// session's.
 func NewSuiteWith(sess *censor.Session, opt Options) *Suite {
-	opt.World = sess.WorldConfig()
+	opt.Scenario = sess.Scenario()
 	return &Suite{
 		Opt:      opt,
 		Session:  sess,

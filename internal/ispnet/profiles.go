@@ -95,7 +95,9 @@ const (
 	ASNExt      = 64520
 )
 
-// DefaultProfiles returns the calibrated ten-ISP world of the paper.
+// DefaultProfiles returns the calibrated ten-ISP world of the paper,
+// compiled from the PaperScenario spec — the calibration data itself lives
+// there, so the paper is just one preset in the scenario space.
 //
 // Coverage arithmetic (Table 2): within-ISP coverage ≈ Boxes/Borders since
 // each destination pod is served by exactly one border; outside coverage ≈
@@ -105,80 +107,7 @@ const (
 // source-only — the paper's hypothesis for never seeing Jio boxes from
 // outside, stated as "filtering ... for source IPs belonging to Jio").
 func DefaultProfiles() []Profile {
-	return []Profile{
-		{
-			Name: "Airtel", ASN: ASNAirtel, Base1: 23, Base2: 10,
-			Edges: 10, Borders: 16,
-			Boxes: 12, BoxesSrcOrDst: 9, Consistency: 0.123, BlockCount: 234,
-			Censor: CensorWM, Style: middlebox.StyleAirtel, WMLossProb: 0.3,
-		},
-		{
-			Name: "Idea", ASN: ASNIdea, Base1: 23, Base2: 20,
-			Edges: 8, Borders: 12,
-			Boxes: 11, BoxesSrcOrDst: 11, Consistency: 0.768, BlockCount: 338,
-			Censor: CensorIMOvert, Style: middlebox.StyleIdea,
-		},
-		{
-			Name: "Vodafone", ASN: ASNVodafone, Base1: 23, Base2: 30,
-			Edges: 8, Borders: 80,
-			Boxes: 9, BoxesSrcOrDst: 1, Consistency: 0.116, BlockCount: 483,
-			Censor: CensorIMCovert, Style: middlebox.StyleVodafone,
-		},
-		{
-			Name: "Jio", ASN: ASNJio, Base1: 23, Base2: 40,
-			Edges: 8, Borders: 32,
-			Boxes: 2, BoxesSrcOrDst: 0, Consistency: 0.5, BlockCount: 200,
-			Censor: CensorWM, Style: middlebox.StyleJio, WMLossProb: 0.3,
-		},
-		{
-			Name: "MTNL", ASN: ASNMTNL, Base1: 23, Base2: 50,
-			Edges: 56, Censor: CensorDNS,
-			Resolvers: 448, PoisonedResolvers: 345,
-			DNSBlockCount: 450, DNSConsistency: 0.424, ClientResolverSize: 45,
-			Transits: []TransitLink{
-				{Provider: "TATA", Region: "US", CollateralCount: 134},
-				{Provider: "Airtel", Region: "EU", CollateralCount: 25},
-			},
-		},
-		{
-			Name: "BSNL", ASN: ASNBSNL, Base1: 23, Base2: 60,
-			Edges: 23, Censor: CensorDNS,
-			Resolvers: 182, PoisonedResolvers: 17,
-			DNSBlockCount: 300, DNSConsistency: 0.075, ClientResolverSize: 22,
-			Transits: []TransitLink{
-				{Provider: "TATA", Region: "US", CollateralCount: 156},
-				{Provider: "Airtel", Region: "EU", CollateralCount: 1},
-			},
-		},
-		{
-			Name: "NKN", ASN: ASNNKN, Base1: 23, Base2: 70,
-			Edges: 4, Censor: CensorNone,
-			Transits: []TransitLink{
-				{Provider: "Vodafone", Region: "US", CollateralCount: 69},
-				{Provider: "TATA", Region: "EU", CollateralCount: 8},
-			},
-		},
-		{
-			Name: "Sify", ASN: ASNSify, Base1: 23, Base2: 80,
-			Edges: 4, Censor: CensorNone,
-			Transits: []TransitLink{
-				{Provider: "TATA", Region: "US", CollateralCount: 142},
-				{Provider: "Airtel", Region: "EU", CollateralCount: 2},
-			},
-		},
-		{
-			Name: "Siti", ASN: ASNSiti, Base1: 23, Base2: 90,
-			Edges: 4, Censor: CensorNone,
-			Transits: []TransitLink{
-				{Provider: "Airtel", Region: "ALL", CollateralCount: 110},
-			},
-		},
-		{
-			Name: "TATA", ASN: ASNTATA, Base1: 23, Base2: 100,
-			Edges: 6, Borders: 16, Censor: CensorNone,
-			Style: middlebox.StyleTATA,
-		},
-	}
+	return DefaultConfig().Profiles
 }
 
 // HTTPCensoring reports whether the profile operates HTTP middleboxes.

@@ -25,19 +25,25 @@ type Config struct {
 	Profiles   []Profile
 }
 
-// DefaultConfig is the paper-scale world: 1200 PBWs, Alexa 1000, 40 VPs.
+// DefaultConfig is the paper-scale world: 1200 PBWs, Alexa 1000, 40 VPs —
+// the compiled PaperScenario.
 func DefaultConfig() Config {
-	return Config{Seed: 2018, PBWCount: 1200, AlexaCount: 1000, VPCount: 40, Pods: 80, Profiles: DefaultProfiles()}
+	return mustCompile(PaperScenario())
 }
 
 // SmallConfig is a reduced world for unit tests: same structure, fewer
-// sites and vantage points.
+// sites and vantage points — the compiled SmallScenario.
 func SmallConfig() Config {
-	c := DefaultConfig()
-	c.PBWCount = 240
-	c.AlexaCount = 100
-	c.VPCount = 16
-	return c
+	return mustCompile(SmallScenario())
+}
+
+// mustCompile lowers a scenario known to validate (the built-in ones).
+func mustCompile(s Scenario) Config {
+	cfg, err := s.Compile()
+	if err != nil {
+		panic(fmt.Sprintf("ispnet: built-in scenario %q: %v", s.Name, err))
+	}
+	return cfg
 }
 
 // Endpoint is a measurement-capable host: TCP stack, DNS stub, and an
@@ -50,6 +56,9 @@ type Endpoint struct {
 	Server *websim.Server
 	Region websim.Region
 	Pod    int // pod index for VPs, -1 otherwise
+	// World links back to the world the endpoint lives in (signature
+	// catalogue, engine access).
+	World *World
 }
 
 // Addr returns the endpoint's address.
@@ -145,6 +154,50 @@ type World struct {
 	addrCounters  map[int]int
 	podBorders    map[string][]*netsim.Router // ISP -> border adjacent to each pod
 	podPolicies   map[int]*podPolicy
+
+	// resetters rewind the runtime state of every stateful component built
+	// into the world (TCP stacks, web servers, DNS clients and resolvers),
+	// in build order; Reset runs them after rewinding the engine.
+	resetters []func()
+	// notifSigs is the per-world notification catalogue (build-time).
+	notifSigs []NotifSignature
+}
+
+// onReset registers a component rewind to run during Reset.
+func (w *World) onReset(fn func()) { w.resetters = append(w.resetters, fn) }
+
+// Reset restores the world to its just-built state: the engine clock,
+// event queue and random source rewind to the seed, every TCP stack drops
+// its connections, web servers forget their fetch counters, middleboxes
+// clear flow tables and trigger counts, and hosts lose runtime handler
+// registrations (ephemeral DNS ports, tracer ICMP hooks, packet filters).
+// Topology, routing, blocklists and resolver poisoning are build-time
+// state and survive.
+//
+// The contract — enforced by the campaign determinism tests — is that a
+// reset world is indistinguishable from NewWorld(w.Cfg): the same
+// measurement sequence produces byte-identical results on either. This is
+// what lets a campaign runner pool worlds per worker instead of paying one
+// build per task.
+func (w *World) Reset() {
+	w.Eng.Reset()
+	w.Net.ResetRuntime()
+	for _, fn := range w.resetters {
+		fn()
+	}
+	for _, isp := range w.ISPList {
+		for _, b := range isp.Boxes {
+			if b.WM != nil {
+				b.WM.Reset()
+			}
+			if b.IM != nil {
+				b.IM.Reset()
+			}
+		}
+		for _, r := range isp.Resolvers {
+			r.Reset()
+		}
+	}
 }
 
 func hashStr(s string) uint64 {
@@ -241,6 +294,10 @@ func NewWorld(cfg Config) *World {
 	w.createPeerings()
 	w.Net.Build()
 	w.wireTransits()
+	w.buildNotifSignatures()
+	// Everything registered on hosts from here on is runtime state that
+	// Reset rewinds.
+	w.Net.MarkBaseline()
 	return w
 }
 
@@ -284,6 +341,11 @@ func (w *World) buildFabric() {
 	}
 }
 
+// podIndex wraps a nominal pod index into the configured range, keeping
+// the web fabric's fixed placement spots (CDN edges, the parking service)
+// valid in scenario worlds with few pods. Identity at the calibrated 80.
+func (w *World) podIndex(i int) int { return i % w.Cfg.Pods }
+
 // podAddr allocates the next host address in a pod's prefix.
 func (w *World) podAddr(p int) netip.Addr {
 	c := w.addrCounters[p]
@@ -297,10 +359,38 @@ func (w *World) newEndpoint(addr netip.Addr, r *netsim.Router, region websim.Reg
 	st := tcpsim.NewStack(h)
 	srv := websim.NewServer(st, region, profile)
 	srv.EnableHTTPS()
+	dns := dnssim.NewClient(h)
+	w.onReset(st.Reset)
+	w.onReset(srv.Reset)
+	w.onReset(dns.Reset)
 	return &Endpoint{
-		Host: h, TCP: st, DNS: dnssim.NewClient(h),
+		Host: h, TCP: st, DNS: dns,
 		Server: srv,
 		Region: region, Pod: -1,
+		World: w,
+	}
+}
+
+// NotifSignature fingerprints one ISP's censorship notification: any
+// stream containing Marker was forged by that ISP's middleboxes.
+type NotifSignature struct {
+	ISP    string
+	Marker string
+}
+
+// NotifSignatures is the notification catalogue of this world — what the
+// paper's researchers assembled by browsing blocked sites from every
+// vantage (§6.1), derived from the deployed styles: one signature per
+// ISP whose boxes send a notification body. Scenario worlds thus get
+// attribution for their own custom censors, not just the paper's four.
+// The catalogue is build-time state, computed once (it survives Reset).
+func (w *World) NotifSignatures() []NotifSignature { return w.notifSigs }
+
+func (w *World) buildNotifSignatures() {
+	for _, isp := range w.ISPList {
+		if body := isp.Profile.Style.BodyHTML; body != "" {
+			w.notifSigs = append(w.notifSigs, NotifSignature{ISP: isp.Name, Marker: body})
+		}
 	}
 }
 
@@ -314,22 +404,24 @@ func (w *World) buildWeb() {
 
 	cdnIN := w.newEndpoint(netip.MustParseAddr("61.50.0.200"), indc, websim.RegionIN, websim.ProfileCDNEdge)
 
-	cdnUS := w.newEndpoint(w.podAddr(7), w.Pods[7], websim.RegionUS, websim.ProfileCDNEdge)
-	cdnEU := w.newEndpoint(w.podAddr(w.Cfg.Pods/2+7), w.Pods[w.Cfg.Pods/2+7], websim.RegionEU, websim.ProfileCDNEdge)
+	pUS, pEU := w.podIndex(7), w.podIndex(w.Cfg.Pods/2+7)
+	cdnUS := w.newEndpoint(w.podAddr(pUS), w.Pods[pUS], websim.RegionUS, websim.ProfileCDNEdge)
+	cdnEU := w.newEndpoint(w.podAddr(pEU), w.Pods[pEU], websim.RegionEU, websim.ProfileCDNEdge)
 	// Several anycast CDN deployments spread across pods: one IP per
 	// deployment worldwide, geo-dependent content, and — because they sit
 	// behind different borders — realistic path diversity for the sites
 	// they host.
 	var cdnAny []*Endpoint
 	for _, p := range []int{17, 22, w.Cfg.Pods/2 + 1, w.Cfg.Pods/2 + 26} {
-		ep := w.newEndpoint(w.podAddr(p%w.Cfg.Pods), w.Pods[p%w.Cfg.Pods], websim.RegionUS, websim.ProfileCDNEdge)
+		p = w.podIndex(p)
+		ep := w.newEndpoint(w.podAddr(p), w.Pods[p], websim.RegionUS, websim.ProfileCDNEdge)
 		ep.Server.RegionOf = w.RegionOf
 		cdnAny = append(cdnAny, ep)
 	}
 	// One anycast parking service: same address worldwide, region-local
 	// placeholder pages (content AND header names differ by requester
 	// location) — OONI's DNS check passes, its HTTP checks all fail.
-	park := w.newEndpoint(w.podAddr(27), w.Pods[27], websim.RegionUS, websim.ProfileParkIntl)
+	park := w.newEndpoint(w.podAddr(w.podIndex(27)), w.Pods[w.podIndex(27)], websim.RegionUS, websim.ProfileParkIntl)
 	park.Server.ServeParked()
 	park.Server.RegionOf = w.RegionOf
 
@@ -387,7 +479,7 @@ func (w *World) buildMeasurementInfra() {
 	w.TorExit = w.newEndpoint(netip.MustParseAddr("198.51.0.10"), ext, websim.RegionUS, websim.ProfileStandard)
 	w.Control = w.newEndpoint(netip.MustParseAddr("198.51.0.11"), ext, websim.RegionUS, websim.ProfileStandard)
 	gdns := w.Net.AddHost(netip.MustParseAddr("198.51.0.53"), ext, time.Millisecond)
-	dnssim.NewResolver(gdns, websim.RegionUS, w.Authority, time.Millisecond)
+	w.onReset(dnssim.NewResolver(gdns, websim.RegionUS, w.Authority, time.Millisecond).Reset)
 	w.GoogleDNS = gdns.Addr()
 
 	for v := 0; v < w.Cfg.VPCount; v++ {

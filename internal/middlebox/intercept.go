@@ -36,6 +36,14 @@ func NewInterceptor(net *netsim.Network, cfg Config, overt bool) *Interceptor {
 	return im
 }
 
+// Reset clears the box's flow table and trigger counters, restoring the
+// just-deployed state for world pooling.
+func (im *Interceptor) Reset() {
+	im.tbl = newFlowTable(im.Cfg.timeout(), im.net.Engine().Now)
+	im.Triggers = 0
+	im.Blackholed = 0
+}
+
 // Process implements netsim.Inline.
 func (im *Interceptor) Process(pkt *netpkt.Packet, at *netsim.Router) bool {
 	if pkt.TCP == nil {

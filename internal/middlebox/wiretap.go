@@ -58,6 +58,14 @@ func NewWiretap(net *netsim.Network, cfg Config, lossProb float64) *Wiretap {
 	return w
 }
 
+// Reset clears the box's flow table and trigger counters, restoring the
+// just-deployed state for world pooling.
+func (w *Wiretap) Reset() {
+	w.tbl = newFlowTable(w.Cfg.timeout(), w.net.Engine().Now)
+	w.Triggers = 0
+	w.LostRaces = 0
+}
+
 // Observe implements netsim.Tap.
 func (w *Wiretap) Observe(pkt *netpkt.Packet, at *netsim.Router) {
 	if pkt.TCP == nil {

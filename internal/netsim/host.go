@@ -58,6 +58,17 @@ type Host struct {
 
 	capturing bool
 	captures  []Captured
+
+	// baseline is the handler registration captured by MarkBaseline — the
+	// pristine build-time state RestoreBaseline rewinds to.
+	baseline *hostBaseline
+}
+
+// hostBaseline snapshots the handler state a world build leaves behind.
+type hostBaseline struct {
+	udpHandlers map[uint16]func(*netpkt.Packet)
+	icmpHandler func(*netpkt.Packet)
+	filter      IngressFilter
 }
 
 // AddHost attaches a host with address addr to router r.
@@ -110,6 +121,35 @@ func (h *Host) SetICMPHandler(fn func(*netpkt.Packet)) { h.icmpHandler = fn }
 
 // SetIngressFilter installs (or clears, with nil) the host's packet filter.
 func (h *Host) SetIngressFilter(f IngressFilter) { h.filter = f }
+
+// MarkBaseline records the host's current handler registration (UDP
+// handlers, ICMP handler, ingress filter) as the pristine state
+// RestoreBaseline rewinds to. The world builder calls it once the topology
+// is assembled; everything registered afterwards — ephemeral DNS query
+// ports, tracer ICMP hooks, evasion packet filters — is runtime state.
+func (h *Host) MarkBaseline() {
+	udp := make(map[uint16]func(*netpkt.Packet), len(h.udpHandlers))
+	for p, fn := range h.udpHandlers {
+		udp[p] = fn
+	}
+	h.baseline = &hostBaseline{udpHandlers: udp, icmpHandler: h.icmpHandler, filter: h.filter}
+}
+
+// RestoreBaseline rewinds the host to the MarkBaseline snapshot and drops
+// any in-progress capture. A no-op when no baseline was marked.
+func (h *Host) RestoreBaseline() {
+	if h.baseline == nil {
+		return
+	}
+	h.udpHandlers = make(map[uint16]func(*netpkt.Packet), len(h.baseline.udpHandlers))
+	for p, fn := range h.baseline.udpHandlers {
+		h.udpHandlers[p] = fn
+	}
+	h.icmpHandler = h.baseline.icmpHandler
+	h.filter = h.baseline.filter
+	h.capturing = false
+	h.captures = nil
+}
 
 // StartCapture begins recording all packets in and out of the host.
 func (h *Host) StartCapture() {

@@ -196,6 +196,25 @@ func (n *Network) Host(addr netip.Addr) (*Host, bool) {
 	return h, ok
 }
 
+// MarkBaseline snapshots every host's handler registration as the pristine
+// build-time state (see Host.MarkBaseline).
+func (n *Network) MarkBaseline() {
+	for _, h := range n.hosts {
+		h.MarkBaseline()
+	}
+}
+
+// ResetRuntime rewinds the network's runtime state — per-host handler
+// registrations, captures, filters, and the drop counter — to the
+// MarkBaseline snapshot. Topology, routing tables and policies are
+// build-time state and stay untouched.
+func (n *Network) ResetRuntime() {
+	n.Drops = 0
+	for _, h := range n.hosts {
+		h.RestoreBaseline()
+	}
+}
+
 // Build computes routing tables. It must be called after topology changes
 // and before traffic is sent. Paths are canonical per unordered router
 // pair: the route B->A is the exact reverse of A->B, so on-path elements

@@ -78,7 +78,7 @@ func scanPath(ep *ispnet.Endpoint, dst netip.Addr, hosts []string, attempts int,
 				if reset && len(stream) == 0 {
 					blocked = true // covert RST
 				}
-				if _, ok := MatchSignature(stream); ok {
+				if _, ok := MatchSignatureIn(ep.World, stream); ok {
 					blocked = true
 				}
 				// Release the dead/half-closed connection (an overt

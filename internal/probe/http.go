@@ -123,13 +123,14 @@ type TriggerReport struct {
 	StateRefreshedByTraffic bool
 }
 
-// censoredOutcome recognizes a censorship response on a connection.
-func censoredOutcome(c *tcpsim.Conn) bool {
+// censoredOutcome recognizes a censorship response on a connection,
+// matching notification markers against the world's own catalogue.
+func (p *Probe) censoredOutcome(c *tcpsim.Conn) bool {
 	if _, reset := c.WasReset(); reset && len(c.Stream()) == 0 {
 		return true
 	}
 	if c.PeerClosed() && len(c.Stream()) > 0 {
-		if _, ok := MatchSignature(c.Stream()); ok {
+		if _, ok := MatchSignatureIn(p.World, c.Stream()); ok {
 			return true
 		}
 		// FIN-bearing response without any known marker still counts when
@@ -155,13 +156,13 @@ func (p *Probe) TriggerExperiments(domain string, dst netip.Addr) *TriggerReport
 	if c, err := connEstablish(ep, dst, p.Timeout); err == nil {
 		c.SendRaw(get, tcpsim.RawOpts{TTL: uint8(n - 1)})
 		eng.RunFor(p.Timeout)
-		rep.CensoredAtTTLBelowServer = censoredOutcome(c)
+		rep.CensoredAtTTLBelowServer = p.censoredOutcome(c)
 		c.Abort()
 	}
 	if c, err := connEstablish(ep, dst, p.Timeout); err == nil {
 		c.SendRaw(get, tcpsim.RawOpts{Advance: true})
 		eng.RunFor(p.Timeout)
-		rep.CensoredAtFullTTL = censoredOutcome(c)
+		rep.CensoredAtFullTTL = p.censoredOutcome(c)
 		c.Abort()
 	}
 
@@ -169,7 +170,7 @@ func (p *Probe) TriggerExperiments(domain string, dst netip.Addr) *TriggerReport
 	if c, err := connEstablish(ep, dst, p.Timeout); err == nil {
 		c.Send(httpwire.NewGET("/").RawLine("HOst: " + domain).Bytes())
 		eng.RunFor(p.Timeout)
-		rep.HostCaseEvades = !censoredOutcome(c) && len(c.Stream()) > 0
+		rep.HostCaseEvades = !p.censoredOutcome(c) && len(c.Stream()) > 0
 		c.Abort()
 	}
 
@@ -183,7 +184,7 @@ func (p *Probe) TriggerExperiments(domain string, dst netip.Addr) *TriggerReport
 	if c, err := connEstablish(ep, dst, p.Timeout); err == nil {
 		c.SendRaw(fudged, tcpsim.RawOpts{TTL: uint8(n - 1)})
 		eng.RunFor(p.Timeout)
-		rep.HostFieldOnly = !censoredOutcome(c)
+		rep.HostFieldOnly = !p.censoredOutcome(c)
 		c.Abort()
 	}
 
@@ -210,7 +211,7 @@ func (p *Probe) TriggerExperiments(domain string, dst netip.Addr) *TriggerReport
 	if c, err := connEstablish(ep, dst, p.Timeout); err == nil {
 		c.SendRaw(get, tcpsim.RawOpts{TTL: uint8(n - 1)})
 		eng.RunFor(p.Timeout)
-		rep.HandshakeThenTriggers = censoredOutcome(c)
+		rep.HandshakeThenTriggers = p.censoredOutcome(c)
 		c.Abort()
 	}
 
@@ -219,7 +220,7 @@ func (p *Probe) TriggerExperiments(domain string, dst netip.Addr) *TriggerReport
 		eng.RunFor(4 * time.Minute)
 		c.SendRaw(get, tcpsim.RawOpts{Advance: true})
 		eng.RunFor(p.Timeout)
-		rep.StateExpiresAfterIdle = !censoredOutcome(c)
+		rep.StateExpiresAfterIdle = !p.censoredOutcome(c)
 		c.Abort()
 	}
 	if c, err := connEstablish(ep, dst, p.Timeout); err == nil {
@@ -229,7 +230,7 @@ func (p *Probe) TriggerExperiments(domain string, dst netip.Addr) *TriggerReport
 		}
 		c.SendRaw(get, tcpsim.RawOpts{Advance: true})
 		eng.RunFor(p.Timeout)
-		rep.StateRefreshedByTraffic = censoredOutcome(c)
+		rep.StateRefreshedByTraffic = p.censoredOutcome(c)
 		c.Abort()
 	}
 	return rep
@@ -308,7 +309,7 @@ func (p *Probe) ClassifyMiddlebox(domain string, remote *ispnet.Endpoint, attemp
 		c.Send(httpwire.NewGET("/").Header("Host", domain).Bytes())
 		eng.RunFor(p.Timeout)
 		clientRSTSeq := c.SndNxt()
-		if censoredOutcome(c) {
+		if p.censoredOutcome(c) {
 			out.ClientSawCensorship = true
 		} else if len(c.Stream()) > 0 {
 			sawContent = true

@@ -94,9 +94,10 @@ func (r *FetchResult) Body() []byte {
 	return r.Responses[0].Body
 }
 
-// classify fills the notification fields from the stream.
-func (r *FetchResult) classify() {
-	if isp, ok := MatchSignature(r.Stream); ok {
+// classify fills the notification fields from the stream, consulting the
+// world's own signature catalogue so custom censors attribute too.
+func (r *FetchResult) classify(w *ispnet.World) {
+	if isp, ok := MatchSignatureIn(w, r.Stream); ok {
 		r.Notification = true
 		r.SignatureISP = isp
 	}
@@ -147,7 +148,7 @@ func GetFrom(ep *ispnet.Endpoint, dst netip.Addr, domain string, rawRequest []by
 			res.SawIPID242 = true
 		}
 	}
-	res.classify()
+	res.classify(ep.World)
 	if !c.Dead() {
 		c.Abort()
 		ep.Host.Engine().RunFor(10 * time.Millisecond)

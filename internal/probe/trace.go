@@ -1,7 +1,6 @@
 package probe
 
 import (
-	"bytes"
 	"net/netip"
 	"time"
 
@@ -125,10 +124,8 @@ func IterativeTraceHTTP(ep *ispnet.Endpoint, dst netip.Addr, domain string, time
 		}
 		if c.PeerClosed() && len(c.Stream()) > 0 {
 			censored = true
-			for _, sig := range KnownSignatures {
-				if bytes.Contains(c.Stream(), []byte(sig.Marker)) {
-					res.SignatureISP = sig.ISP
-				}
+			if isp, ok := MatchSignatureIn(ep.World, c.Stream()); ok {
+				res.SignatureISP = isp
 			}
 		}
 		for _, rec := range ep.Host.StopCapture() {

@@ -1,6 +1,10 @@
 package probe
 
-import "bytes"
+import (
+	"bytes"
+
+	"repro/internal/ispnet"
+)
 
 // Mechanism labels the evidence that convicted a censored fetch.
 type Mechanism string
@@ -27,6 +31,24 @@ func MatchSignature(stream []byte) (isp string, ok bool) {
 		}
 	}
 	return "", false
+}
+
+// MatchSignatureIn is MatchSignature extended with the world's own
+// notification catalogue — the signatures a researcher inside that world
+// would have assembled by browsing blocked sites (§6.1). Scenario worlds
+// carry custom censors whose notification bodies appear in no paper
+// fleet list; without the world catalogue their overt censorship would
+// be undetectable. The paper list is kept as a fallback so partial or
+// truncated streams still match on the shorter markers.
+func MatchSignatureIn(w *ispnet.World, stream []byte) (isp string, ok bool) {
+	if w != nil {
+		for _, sig := range w.NotifSignatures() {
+			if bytes.Contains(stream, []byte(sig.Marker)) {
+				return sig.ISP, true
+			}
+		}
+	}
+	return MatchSignature(stream)
 }
 
 // CensorVerdict applies the shared censored-fetch heuristic used by the

@@ -84,6 +84,7 @@ func (t *Timer) Stop() bool {
 type Engine struct {
 	now    Time
 	seq    uint64
+	seed   int64
 	queue  eventHeap
 	rng    *rand.Rand
 	events uint64 // total events executed, for instrumentation
@@ -91,7 +92,22 @@ type Engine struct {
 
 // NewEngine returns an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reset restores the engine to its just-constructed state: the clock back
+// at zero, every pending event dropped, and the random source reseeded
+// with the original seed. Components built on the engine keep their
+// pointers to it, so a world can be rewound without rebuilding — the
+// foundation of campaign world pooling. After Reset the engine is
+// indistinguishable from NewEngine(seed), which is what makes a reset
+// world produce byte-identical measurements to a freshly built one.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.queue = nil
+	e.events = 0
+	e.rng = rand.New(rand.NewSource(e.seed))
 }
 
 // Now returns the current virtual time.

@@ -198,3 +198,14 @@ func (s *Stack) remove(c *Conn) {
 
 // OpenConns returns the number of live connections (debug/tests).
 func (s *Stack) OpenConns() int { return len(s.conns) }
+
+// Reset drops every connection and rewinds port allocation and counters to
+// the stack's just-constructed state. Listeners — build-time wiring of the
+// servers living on this host — are kept. Connection timers scheduled on
+// the engine must be discarded separately (Engine.Reset does).
+func (s *Stack) Reset() {
+	s.conns = make(map[netpkt.FlowKey]*Conn)
+	s.portRefs = make(map[uint16]int)
+	s.nextPort = 32768
+	s.RSTsSent = 0
+}

@@ -84,6 +84,14 @@ func (s *Server) Host(site *Site) { s.sites[site.Domain] = site }
 // ServeParked turns the server into a parking edge answering any domain.
 func (s *Server) ServeParked() { s.parking = true }
 
+// Reset rewinds per-fetch state — the fetch counters that drive dynamic
+// content and the request tally — to the just-built state. Hosted sites
+// and parking mode are build-time configuration and stay.
+func (s *Server) Reset() {
+	s.fetches = make(map[string]int)
+	s.Requests = 0
+}
+
 // accept wires per-connection request parsing.
 func (s *Server) accept(c *tcpsim.Conn) {
 	var consumed int
