@@ -103,6 +103,12 @@ type task struct {
 	m       Measurement
 }
 
+// newReplicaWorld builds one campaign replica world. It is a variable so
+// the lazy-pool regression test can count builds: the pool's contract is
+// at most min(workers, tasks) builds per campaign, and none at all for a
+// worker that never picks up a task.
+var newReplicaWorld = ispnet.NewWorld
+
 // withFreshReplicaWorlds disables the per-worker replica pool for one
 // run, rebuilding a world per task — the pre-pooling behaviour.
 // Unexported: it exists so the benchmarks can price the pool's win and
@@ -194,10 +200,12 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Replica pool, one slot per worker: the world is built for
-			// the worker's first task and handed back after each task with
-			// an engine-level Reset restoring pristine state, so a
-			// campaign builds at most `workers` worlds.
+			// Replica pool, one slot per worker: the world is built lazily
+			// on the worker's first task pickup (never for an idle worker)
+			// and handed back after each task with an engine-level Reset
+			// restoring pristine state. With workers capped at the task
+			// count above, a campaign builds at most min(workers, tasks)
+			// worlds.
 			var world *ispnet.World
 			for i := range idxCh {
 				if ctx.Err() != nil {
@@ -205,7 +213,7 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 					continue
 				}
 				if world == nil {
-					world = ispnet.NewWorld(cfg.world)
+					world = newReplicaWorld(cfg.world)
 				}
 				results[i] = runTask(ctx, world, cfg, tasks[i], domains)
 				if cfg.freshReplicas {

@@ -11,12 +11,17 @@ import (
 	"sync"
 )
 
-// Sink consumes a campaign's Result stream. Campaigns deliver results to
-// sinks in the stream's deterministic order (Stream.Drain), one result at
-// a time from a single goroutine, and Flush once the stream is done —
-// sinks written only through Drain therefore need no internal locking.
-// AggregateSink locks anyway, so it can also fold results written
-// concurrently from application code.
+// Sink consumes a campaign's Result stream.
+//
+// Concurrency contract: campaigns deliver results to sinks in the
+// stream's deterministic order (Stream.Drain), one result at a time from
+// a single goroutine, and Flush once the stream is done — Drain
+// serializes all writes, so sinks written only through Drain need no
+// internal locking. JSONLSink and CSVSink rely on exactly that and are
+// NOT safe for concurrent use from multiple goroutines. AggregateSink
+// locks anyway, so it can also fold results written concurrently from
+// application code; monitor.Store makes the same promise and further
+// allows queries concurrent with writes.
 type Sink interface {
 	// Write consumes one result.
 	Write(Result) error
@@ -161,31 +166,18 @@ func newTally() *Tally {
 	}
 }
 
-// AggregateSink folds results into per-vantage tallies without retaining
-// individual records — the in-memory backend behind censorscan's
-// -format summary. Summary renders deterministically for a deterministic
-// write order, so a parallel campaign drained into an AggregateSink
-// summarizes byte-identically to the sequential run.
-type AggregateSink struct {
-	mu       sync.Mutex
-	vantages []string // first-seen order: the campaign's vantage order
-	tallies  map[string]*Tally
-}
-
-// NewAggregateSink builds an empty aggregate.
-func NewAggregateSink() *AggregateSink {
-	return &AggregateSink{tallies: map[string]*Tally{}}
-}
-
-// Write folds one result into its vantage's tally.
-func (s *AggregateSink) Write(r Result) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tallies[r.Vantage]
-	if !ok {
-		t = newTally()
-		s.tallies[r.Vantage] = t
-		s.vantages = append(s.vantages, r.Vantage)
+// Add folds one result into the tally — the single fold AggregateSink
+// and monitor's result store share, so their roll-ups can never drift
+// apart. Nil count maps are allocated on demand, making the zero Tally
+// usable. Add is not safe for concurrent use; callers that share a Tally
+// across goroutines must guard it (AggregateSink does).
+func (t *Tally) Add(r Result) {
+	if t.ByMeasurement == nil {
+		t.ByMeasurement = map[string]int{}
+		t.ByMechanism = map[string]int{}
+		t.ByCensor = map[string]int{}
+		t.TechniqueSuccess = map[string]int{}
+		t.BoxTypes = map[string]int{}
 	}
 	t.Total++
 	if r.Error != "" {
@@ -246,6 +238,35 @@ func (s *AggregateSink) Write(r Result) error {
 			}
 		}
 	}
+}
+
+// AggregateSink folds results into per-vantage tallies without retaining
+// individual records — the in-memory backend behind censorscan's
+// -format summary. Summary renders deterministically for a deterministic
+// write order, so a parallel campaign drained into an AggregateSink
+// summarizes byte-identically to the sequential run.
+type AggregateSink struct {
+	mu       sync.Mutex
+	vantages []string // first-seen order: the campaign's vantage order
+	tallies  map[string]*Tally
+}
+
+// NewAggregateSink builds an empty aggregate.
+func NewAggregateSink() *AggregateSink {
+	return &AggregateSink{tallies: map[string]*Tally{}}
+}
+
+// Write folds one result into its vantage's tally.
+func (s *AggregateSink) Write(r Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tallies[r.Vantage]
+	if !ok {
+		t = newTally()
+		s.tallies[r.Vantage] = t
+		s.vantages = append(s.vantages, r.Vantage)
+	}
+	t.Add(r)
 	return nil
 }
 

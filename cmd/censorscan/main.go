@@ -23,14 +23,20 @@
 //	censorscan -list-scenarios
 //	censorscan -scenario dns-only -measure dns,http -format summary
 //	censorscan -scenario my_world.json -workers 8 > results.jsonl
+//	censorscan -quick -measure dns -push http://localhost:8080 > results.jsonl
+//
+// -push POSTs the finished campaign's JSONL to a running censord
+// (cmd/censord) so batch runs land in the observatory's store.
 package main
 
 import (
+	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"sort"
@@ -39,6 +45,7 @@ import (
 	"time"
 
 	"repro/censor"
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 )
 
@@ -54,6 +61,7 @@ func main() {
 	measure := flag.String("measure", "", "comma-separated detector names from the registry (default: all registered)")
 	domains := flag.Int("domains", 0, "cap the campaign to the first N PBW domains (0 = all)")
 	format := flag.String("format", "jsonl", "campaign output format: jsonl, csv, or summary")
+	push := flag.String("push", "", "POST the finished campaign's JSONL results to a running censord at this base URL")
 	timeout := flag.Duration("timeout", 3*time.Second, "per-probe network timeout")
 	seed := flag.Int64("seed", 0, "override the world seed (0 = calibrated default)")
 	flag.Parse()
@@ -74,7 +82,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "censorscan: -quick and -scenario both pick the world; use one")
 		os.Exit(2)
 	}
-	for _, name := range []string{"workers", "isps", "measure", "domains", "format"} {
+	for _, name := range []string{"workers", "isps", "measure", "domains", "format", "push"} {
 		if !set[name] {
 			continue
 		}
@@ -99,7 +107,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "censorscan: unknown -format %q (available: jsonl, csv, summary)\n", *format)
 		os.Exit(2)
 	}
-	measurements, err := pickMeasurements(*measure)
+	measurements, err := cliutil.PickMeasurements(*measure)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
 		os.Exit(2)
@@ -125,7 +133,7 @@ func main() {
 	if *seed != 0 {
 		opts = append(opts, censor.WithSeed(*seed))
 	}
-	if vantages := splitList(*isps); len(vantages) > 0 {
+	if vantages := cliutil.SplitList(*isps); len(vantages) > 0 {
 		opts = append(opts, censor.WithVantages(vantages...))
 	}
 
@@ -145,7 +153,7 @@ func main() {
 		// kill-on-SIGINT (neither observes a context).
 		ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
 		defer stop()
-		if err := runCampaign(ctx, sess, *workers, measurements, *domains, *format); err != nil {
+		if err := runCampaign(ctx, sess, world.Name, *workers, measurements, *domains, *format, *push); err != nil {
 			fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
 			os.Exit(1)
 		}
@@ -154,11 +162,10 @@ func main() {
 	runTables(sess, reduced, *only, *series)
 }
 
-// pickScenario resolves the world spec: a registered preset name, a JSON
-// spec file, or the scale flags' presets. Unknown names fail fast listing
-// what is registered, before any world is built. preset reports whether
-// the spec came from the registry (a JSON file never counts, whatever
-// its name field claims).
+// pickScenario resolves the world spec: a registered preset name, a
+// JSON spec file (both via the shared cliutil resolver), or the scale
+// flags' presets. preset reports whether the spec came from the
+// registry (a JSON file never counts, whatever its name field claims).
 func pickScenario(arg string, quick bool) (sc censor.Scenario, preset bool, err error) {
 	if arg == "" {
 		if quick {
@@ -166,24 +173,7 @@ func pickScenario(arg string, quick bool) (sc censor.Scenario, preset bool, err 
 		}
 		return censor.MustLookupScenario("paper-2018"), true, nil
 	}
-	if sc, ok := censor.LookupScenario(arg); ok {
-		return sc, true, nil
-	}
-	raw, err := os.ReadFile(arg)
-	if err != nil {
-		if os.IsNotExist(err) && !strings.ContainsAny(arg, "./\\") {
-			return censor.Scenario{}, false, fmt.Errorf("unknown scenario %q (registered: %s; or pass a JSON spec file)",
-				arg, strings.Join(censor.Scenarios(), ", "))
-		}
-		return censor.Scenario{}, false, fmt.Errorf("scenario file %s: %v", arg, err)
-	}
-	if err := json.Unmarshal(raw, &sc); err != nil {
-		return censor.Scenario{}, false, fmt.Errorf("scenario file %s: %v", arg, err)
-	}
-	if err := sc.Validate(); err != nil {
-		return censor.Scenario{}, false, fmt.Errorf("scenario file %s: %v", arg, err)
-	}
-	return sc, false, nil
+	return cliutil.ReadScenario(arg)
 }
 
 // printScenarios renders the preset registry.
@@ -197,27 +187,11 @@ func printScenarios(w io.Writer) {
 	tw.Flush()
 }
 
-// pickMeasurements resolves -measure names against the detector registry
-// (nil = campaign default: every registered detector).
-func pickMeasurements(measure string) ([]censor.Measurement, error) {
-	if measure == "" {
-		return nil, nil
-	}
-	var out []censor.Measurement
-	for _, k := range splitList(measure) {
-		m, ok := censor.Lookup(k)
-		if !ok {
-			return nil, fmt.Errorf("unknown detector %q (registered: %s)",
-				k, strings.Join(censor.Names(), ", "))
-		}
-		out = append(out, m)
-	}
-	return out, nil
-}
-
 // runCampaign streams the uniform-record campaign to stdout in the
-// requested format.
-func runCampaign(ctx context.Context, sess *censor.Session, workers int, measurements []censor.Measurement, domainCap int, format string) error {
+// requested format; with -push it additionally captures the JSONL form
+// and POSTs it to a running censord, so batch runs land in the
+// observatory's store as a queryable run.
+func runCampaign(ctx context.Context, sess *censor.Session, scenario string, workers int, measurements []censor.Measurement, domainCap int, format, pushURL string) error {
 	pbw := sess.PBWDomains()
 	if domainCap > 0 && domainCap < len(pbw) {
 		pbw = pbw[:domainCap]
@@ -229,19 +203,54 @@ func runCampaign(ctx context.Context, sess *censor.Session, workers int, measure
 	if err != nil {
 		return err
 	}
+	var pushBuf bytes.Buffer
+	var sinks []censor.Sink
+	var agg *censor.AggregateSink
 	switch format {
 	case "csv":
-		return stream.Drain(censor.NewCSVSink(os.Stdout))
+		sinks = append(sinks, censor.NewCSVSink(os.Stdout))
 	case "summary":
-		agg := censor.NewAggregateSink()
-		if err := stream.Drain(agg); err != nil {
-			return err
-		}
-		fmt.Print(agg.Summary())
-		return nil
+		agg = censor.NewAggregateSink()
+		sinks = append(sinks, agg)
 	default:
-		return stream.Drain(censor.NewJSONLSink(os.Stdout))
+		sinks = append(sinks, censor.NewJSONLSink(os.Stdout))
 	}
+	if pushURL != "" {
+		sinks = append(sinks, censor.NewJSONLSink(&pushBuf))
+	}
+	if err := stream.Drain(sinks...); err != nil {
+		return err
+	}
+	if agg != nil {
+		fmt.Print(agg.Summary())
+	}
+	if pushURL != "" {
+		return pushResults(ctx, pushURL, scenario, &pushBuf)
+	}
+	return nil
+}
+
+// pushResults POSTs a campaign's JSONL to censord's batch-ingest
+// endpoint and reports the run the observatory recorded.
+func pushResults(ctx context.Context, baseURL, scenario string, body io.Reader) error {
+	u := strings.TrimSuffix(baseURL, "/") +
+		"/v1/results?scenario=" + url.QueryEscape(scenario) + "&source=censorscan"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, body)
+	if err != nil {
+		return fmt.Errorf("push: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("push: %v", err)
+	}
+	defer resp.Body.Close()
+	reply, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("push: censord answered %s: %s", resp.Status, strings.TrimSpace(string(reply)))
+	}
+	fmt.Fprintf(os.Stderr, "pushed to %s: %s\n", baseURL, strings.TrimSpace(string(reply)))
+	return nil
 }
 
 // runTables renders the paper's tables and figures via the suite.
@@ -254,7 +263,7 @@ func runTables(sess *censor.Session, quick bool, only string, series bool) {
 
 	want := map[string]bool{}
 	if only != "" {
-		for _, k := range splitList(only) {
+		for _, k := range cliutil.SplitList(only) {
 			want[k] = true
 		}
 	}
@@ -307,16 +316,6 @@ func runTables(sess *censor.Session, quick bool, only string, series bool) {
 	if run("section5") {
 		stage(func() { fmt.Print(experiments.RenderSection5(s.Section5())) })
 	}
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, k := range strings.Split(s, ",") {
-		if k = strings.TrimSpace(k); k != "" {
-			out = append(out, k)
-		}
-	}
-	return out
 }
 
 func stage(fn func()) {

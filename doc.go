@@ -20,8 +20,16 @@
 // (censor.RegisterScenario / LookupScenario / Scenarios) in which the
 // paper's calibration is just the "paper-2018" entry next to regimes the
 // study never observed (dns-only, all-interceptive, a no-censorship
-// control). Campaign workers pool world replicas — one build per worker,
-// engine-level reset between tasks — so parallel campaigns stay
-// byte-identical to sequential ones while building at most `workers`
-// worlds. See README.md for a quickstart.
+// control). Campaign workers pool world replicas — one build lazily per
+// task-picking worker, engine-level reset between tasks — so parallel
+// campaigns stay byte-identical to sequential ones while building at
+// most min(workers, tasks) worlds.
+//
+// The monitor package is the service layer over all of that: a
+// Scheduler for recurring campaigns, a bounded concurrency-safe result
+// Store (ring buffers plus write-time per-run tallies, monotonic run
+// epochs, blocklist-churn deltas between runs), and the HTTP handler
+// the cmd/censord daemon serves — healthz plus versioned /v1 endpoints
+// for scenarios, runs, campaign triggers, filtered JSONL results and
+// aggregate summaries. See README.md for a quickstart.
 package repro

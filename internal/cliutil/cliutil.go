@@ -1,0 +1,70 @@
+// Package cliutil holds the flag-parsing helpers the command-line tools
+// share: scenario resolution (registry preset or JSON spec file),
+// detector lookup, and list splitting — one implementation, one error
+// wording, for censorscan and censord both.
+package cliutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/censor"
+)
+
+// ReadScenario resolves a -scenario argument: a registered preset name,
+// or a JSON spec file (validated before any world is built). Unknown
+// names fail fast listing the registered presets; preset reports whether
+// the spec came from the registry (a JSON file never counts, whatever
+// its name field claims).
+func ReadScenario(arg string) (sc censor.Scenario, preset bool, err error) {
+	if sc, ok := censor.LookupScenario(arg); ok {
+		return sc, true, nil
+	}
+	raw, err := os.ReadFile(arg)
+	if err != nil {
+		if os.IsNotExist(err) && !strings.ContainsAny(arg, "./\\") {
+			return censor.Scenario{}, false, fmt.Errorf("unknown scenario %q (registered: %s; or pass a JSON spec file)",
+				arg, strings.Join(censor.Scenarios(), ", "))
+		}
+		return censor.Scenario{}, false, fmt.Errorf("scenario file %s: %v", arg, err)
+	}
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return censor.Scenario{}, false, fmt.Errorf("scenario file %s: %v", arg, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return censor.Scenario{}, false, fmt.Errorf("scenario file %s: %v", arg, err)
+	}
+	return sc, false, nil
+}
+
+// PickMeasurements resolves a comma-separated -measure list against the
+// detector registry (empty = nil: the campaign default, every
+// registered detector).
+func PickMeasurements(measure string) ([]censor.Measurement, error) {
+	if measure == "" {
+		return nil, nil
+	}
+	var out []censor.Measurement
+	for _, k := range SplitList(measure) {
+		m, ok := censor.Lookup(k)
+		if !ok {
+			return nil, fmt.Errorf("unknown detector %q (registered: %s)",
+				k, strings.Join(censor.Names(), ", "))
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// SplitList splits a comma-separated flag value, trimming blanks.
+func SplitList(s string) []string {
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/censor"
+)
+
+// maxPushBytes caps one POST /v1/results body — a defensive bound on
+// top of the store's ring/retention bounds.
+const maxPushBytes = 64 << 20
+
+// NewHandler builds censord's HTTP face over a store and an optional
+// scheduler (nil disables the campaign-trigger endpoint; the store-only
+// form serves pure result archives, e.g. a censorscan push target).
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /healthz                 liveness + store counters
+//	GET  /v1/scenarios            the scenario preset registry
+//	GET  /v1/runs                 retained runs, ascending epoch
+//	POST /v1/campaigns            trigger a job run now: {"job":"name"}
+//	GET  /v1/results              filtered results, JSONL streaming
+//	POST /v1/results?scenario=s   ingest a JSONL batch as a new run
+//	GET  /v1/summary?run=N        per-vantage aggregate (or ?format=text)
+//	GET  /v1/delta?from=N&to=M    blocked-domain churn between two runs
+//
+// /v1/results filters map 1:1 onto Query: scenario, vantage,
+// measurement, mechanism, domain, run, since_run, latest, blocked=true.
+// Every handler is safe under concurrent ingestion — that is the store's
+// contract, exercised by the tests under -race.
+func NewHandler(store *Store, sched *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"stats":  store.Stats(),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		type scenarioInfo struct {
+			Name        string   `json:"name"`
+			Description string   `json:"description,omitempty"`
+			ISPs        int      `json:"isps"`
+			PBWSites    int      `json:"pbw_sites"`
+			Vantages    []string `json:"vantages,omitempty"`
+			Job         bool     `json:"job"` // scheduled/triggerable here
+		}
+		jobs := map[string]bool{}
+		if sched != nil {
+			for _, name := range sched.Jobs() {
+				jobs[name] = true
+			}
+		}
+		var out []scenarioInfo
+		for _, name := range censor.Scenarios() {
+			sc, _ := censor.LookupScenario(name)
+			out = append(out, scenarioInfo{
+				Name: sc.Name, Description: sc.Description,
+				ISPs: len(sc.ISPs), PBWSites: sc.PBWSites,
+				Vantages: sc.Vantages, Job: jobs[sc.Name],
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, store.Runs())
+	})
+
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		if sched == nil {
+			httpError(w, http.StatusServiceUnavailable, "no scheduler: this censord only archives pushed results")
+			return
+		}
+		var req struct {
+			Job string `json:"job"`
+		}
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, "body: %v", err)
+				return
+			}
+		}
+		if req.Job == "" {
+			names := sched.Jobs()
+			if len(names) != 1 {
+				httpError(w, http.StatusBadRequest, "job required (registered: %v)", names)
+				return
+			}
+			req.Job = names[0]
+		}
+		// Synchronous: the response is the finished run's info. Client
+		// disconnect cancels the campaign through the request context.
+		info, err := sched.RunOnce(r.Context(), req.Job)
+		if err != nil {
+			if info.Run != 0 {
+				// Partial run: report it with the error recorded.
+				writeJSON(w, http.StatusOK, info)
+				return
+			}
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("GET /v1/results", func(w http.ResponseWriter, r *http.Request) {
+		q, err := queryFromURL(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		results := store.Results(q)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for i := range results {
+			if err := enc.Encode(&results[i]); err != nil {
+				return // client went away mid-stream
+			}
+		}
+	})
+
+	mux.HandleFunc("POST /v1/results", func(w http.ResponseWriter, r *http.Request) {
+		scenario := r.URL.Query().Get("scenario")
+		source := r.URL.Query().Get("source")
+		if source == "" {
+			source = "push"
+		}
+		// Stream-decode straight into the sink: the body is never
+		// materialized, so a push cannot grow the daemon beyond the
+		// store's own bounds (plus this defensive per-request cap).
+		body := http.MaxBytesReader(w, r.Body, maxPushBytes)
+		sink := store.Begin(scenario, source)
+		dec := json.NewDecoder(body)
+		for {
+			var res censor.Result
+			if err := dec.Decode(&res); err == io.EOF {
+				break
+			} else if err != nil {
+				// Finalize the partial run — its Err makes the truncated
+				// ingest observable instead of leaving a phantom open run.
+				sink.FinishErr(fmt.Errorf("jsonl body: %v", err))
+				httpError(w, http.StatusBadRequest, "jsonl body: %v", err)
+				return
+			}
+			if err := sink.Write(res); err != nil {
+				sink.FinishErr(err)
+				httpError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		info, _ := store.Run(sink.Run())
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("GET /v1/summary", func(w http.ResponseWriter, r *http.Request) {
+		run, err := runParam(r, store)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			text, ok := store.SummaryText(run)
+			if !ok {
+				httpError(w, http.StatusNotFound, "run %d not retained", run)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, text)
+			return
+		}
+		sum, ok := store.Summary(run)
+		if !ok {
+			httpError(w, http.StatusNotFound, "run %d not retained", run)
+			return
+		}
+		writeJSON(w, http.StatusOK, sum)
+	})
+
+	mux.HandleFunc("GET /v1/delta", func(w http.ResponseWriter, r *http.Request) {
+		from, err := intParam(r, "from", 0)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if from == 0 {
+			httpError(w, http.StatusBadRequest, "from run required")
+			return
+		}
+		to, err := intParam(r, "to", 0)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if to == 0 {
+			latest, ok := store.LatestRun(r.URL.Query().Get("scenario"))
+			if !ok {
+				httpError(w, http.StatusNotFound, "no finished run to diff against")
+				return
+			}
+			to = latest.Run
+		}
+		delta, err := store.DeltaSince(from, to)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, delta)
+	})
+
+	return mux
+}
+
+// queryFromURL maps /v1/results parameters onto a store Query.
+func queryFromURL(r *http.Request) (Query, error) {
+	v := r.URL.Query()
+	q := Query{
+		Scenario:    v.Get("scenario"),
+		Vantage:     v.Get("vantage"),
+		Measurement: v.Get("measurement"),
+		Mechanism:   v.Get("mechanism"),
+		Domain:      v.Get("domain"),
+		BlockedOnly: v.Get("blocked") == "true",
+	}
+	var err error
+	if q.Run, err = intParam(r, "run", 0); err != nil {
+		return q, err
+	}
+	if q.SinceRun, err = intParam(r, "since_run", 0); err != nil {
+		return q, err
+	}
+	if q.Latest, err = intParam(r, "latest", 0); err != nil {
+		return q, err
+	}
+	if s := v.Get("since"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return q, fmt.Errorf("since: %v", err)
+		}
+		q.Since = t
+	}
+	return q, nil
+}
+
+// runParam resolves the run selector of /v1/summary: an explicit ?run=N,
+// or the latest finished run (optionally per ?scenario=).
+func runParam(r *http.Request, store *Store) (int, error) {
+	run, err := intParam(r, "run", 0)
+	if err != nil {
+		return 0, err
+	}
+	if run != 0 {
+		return run, nil
+	}
+	latest, ok := store.LatestRun(r.URL.Query().Get("scenario"))
+	if !ok {
+		return 0, fmt.Errorf("no finished run yet")
+	}
+	return latest.Run, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def, fmt.Errorf("%s: %v", name, err)
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client disconnects are not actionable
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,313 @@
+package monitor
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/censor"
+)
+
+// newTestService wires store + scheduler + handler around the shared
+// small session's scenario with a tiny, fast campaign.
+func newTestService(t *testing.T) (*Store, *Scheduler, *httptest.Server) {
+	t.Helper()
+	smallSession(t) // fail fast if the world cannot build
+	store := NewStore()
+	sched, err := NewScheduler(context.Background(), store, Job{
+		Scenario:  censor.MustLookupScenario("small"),
+		Campaign:  censor.Campaign{Measurements: []censor.Measurement{censor.DNS(), censor.HTTP()}},
+		DomainCap: 4,
+		Workers:   4,
+		Options:   []censor.Option{censor.WithVantages("Airtel", "Idea")},
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	srv := httptest.NewServer(NewHandler(store, sched))
+	t.Cleanup(srv.Close)
+	return store, sched, srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestAPIEndpoints(t *testing.T) {
+	store, _, srv := newTestService(t)
+
+	// healthz is alive before any run exists.
+	var health struct {
+		Status string `json:"status"`
+		Stats  Stats  `json:"stats"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 || health.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", code, health)
+	}
+
+	// Summary before any run: a clean 404, not a crash.
+	if code := getJSON(t, srv.URL+"/v1/summary", nil); code != http.StatusNotFound {
+		t.Fatalf("summary with no runs = %d, want 404", code)
+	}
+
+	// Scenario registry includes the presets and marks the job.
+	var scenarios []struct {
+		Name string `json:"name"`
+		Job  bool   `json:"job"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/scenarios", &scenarios); code != 200 {
+		t.Fatalf("scenarios = %d", code)
+	}
+	found := false
+	for _, sc := range scenarios {
+		if sc.Name == "small" {
+			found = true
+			if !sc.Job {
+				t.Error("small is this censord's job but not marked as one")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("scenario registry missing small: %+v", scenarios)
+	}
+
+	// Trigger a campaign (empty body: the single job is the default).
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST campaigns: %v", err)
+	}
+	var info RunInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("campaign response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || !info.Done || info.Results != 16 {
+		t.Fatalf("campaign trigger = %d %+v, want 201 with 16 results (2x2x4)", resp.StatusCode, info)
+	}
+
+	// Unknown job: 400 with the registered names.
+	resp, err = http.Post(srv.URL+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"job":"nope"}`))
+	if err != nil {
+		t.Fatalf("POST campaigns: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(body, []byte("small")) {
+		t.Errorf("unknown job = %d %s, want 400 listing jobs", resp.StatusCode, body)
+	}
+
+	// Runs list the trigger.
+	var runs []RunInfo
+	if code := getJSON(t, srv.URL+"/v1/runs", &runs); code != 200 || len(runs) != 1 {
+		t.Fatalf("runs = %d %+v", code, runs)
+	}
+
+	// Filtered results stream as JSONL in ingestion order.
+	resp, err = http.Get(srv.URL + "/v1/results?vantage=Airtel&measurement=dns")
+	if err != nil {
+		t.Fatalf("GET results: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("results content-type = %q", ct)
+	}
+	var lines []StoredResult
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var r StoredResult
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("results line: %v", err)
+		}
+		lines = append(lines, r)
+	}
+	resp.Body.Close()
+	if len(lines) != 4 {
+		t.Fatalf("filtered results = %d lines, want 4", len(lines))
+	}
+	for _, r := range lines {
+		if r.Vantage != "Airtel" || r.Measurement != "dns" || r.Run != info.Run {
+			t.Errorf("filter leak: %+v", r)
+		}
+	}
+
+	// Bad filter values fail clean.
+	if code := getJSON(t, srv.URL+"/v1/results?run=abc", nil); code != http.StatusBadRequest {
+		t.Errorf("bad run filter = %d, want 400", code)
+	}
+
+	// Summary: JSON form carries per-vantage tallies in campaign order...
+	var sum RunSummary
+	if code := getJSON(t, srv.URL+"/v1/summary", &sum); code != 200 {
+		t.Fatalf("summary = %d", code)
+	}
+	if len(sum.Vantages) != 2 || sum.Vantages[0].Vantage != "Airtel" || sum.Vantages[1].Vantage != "Idea" {
+		t.Fatalf("summary vantages = %+v", sum.Vantages)
+	}
+	if got := sum.Vantages[0].Tally.Total; got != 8 {
+		t.Errorf("Airtel tally total = %d, want 8", got)
+	}
+	// ...and the text form is byte-for-byte the store's AggregateSink
+	// rendering.
+	resp, err = http.Get(srv.URL + "/v1/summary?format=text")
+	if err != nil {
+		t.Fatalf("GET summary text: %v", err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want, _ := store.SummaryText(info.Run)
+	if string(text) != want {
+		t.Errorf("summary text diverged from store rendering:\n%s\nvs\n%s", text, want)
+	}
+
+	// Push a JSONL batch (the censorscan -push shape) and diff the runs.
+	batch := []censor.Result{
+		res("Airtel", "dns", "pushed-a.com", true),
+		res("Airtel", "dns", "pushed-b.com", false),
+	}
+	var buf bytes.Buffer
+	if err := censor.WriteJSONL(&buf, batch); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/v1/results?scenario=batch&source=censorscan",
+		"application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatalf("POST results: %v", err)
+	}
+	var pushed RunInfo
+	if err := json.NewDecoder(resp.Body).Decode(&pushed); err != nil {
+		t.Fatalf("push response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || pushed.Results != 2 ||
+		pushed.Scenario != "batch" || pushed.Source != "censorscan" || !pushed.Done {
+		t.Fatalf("push = %d %+v", resp.StatusCode, pushed)
+	}
+
+	// Delta between the campaign run and the pushed run reports churn.
+	var delta Delta
+	if code := getJSON(t, fmt.Sprintf("%s/v1/delta?from=%d&to=%d", srv.URL, info.Run, pushed.Run), &delta); code != 200 {
+		t.Fatalf("delta = %d", code)
+	}
+	for _, vd := range delta.Vantages {
+		if vd.Vantage == "Airtel" && !slices.Contains(vd.Added, "pushed-a.com") {
+			t.Errorf("delta missing pushed-a.com: %+v", vd)
+		}
+	}
+	if code := getJSON(t, srv.URL+"/v1/delta", nil); code != http.StatusBadRequest {
+		t.Errorf("delta without from = %d, want 400", code)
+	}
+}
+
+func TestAPIStoreOnly(t *testing.T) {
+	// A censord without a scheduler still archives pushes and serves
+	// queries; triggering campaigns is a clean 503.
+	store := NewStore()
+	srv := httptest.NewServer(NewHandler(store, nil))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("campaign trigger without scheduler = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestAPIQueriesDuringIngest is the acceptance scenario: /v1/results and
+// /v1/summary keep answering — under -race — while a campaign is
+// actively ingesting into the store.
+func TestAPIQueriesDuringIngest(t *testing.T) {
+	store, sched, srv := newTestService(t)
+
+	// One finished run up front, so /v1/summary always has an answer.
+	first, err := sched.RunOnce(context.Background(), "small")
+	if err != nil {
+		t.Fatalf("RunOnce: %v", err)
+	}
+
+	// Scheduled ingest in the background.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ingestDone := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for i := 0; i < 3; i++ {
+			if _, err := sched.RunOnce(ctx, "small"); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		ingestDone <- firstErr
+	}()
+
+	// Concurrent query hammer.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{
+					"/v1/results?vantage=Airtel&latest=5",
+					fmt.Sprintf("/v1/summary?run=%d", first.Run),
+					"/v1/summary?format=text",
+					"/v1/runs",
+					"/healthz",
+				} {
+					resp, err := http.Get(srv.URL + path)
+					if err != nil {
+						t.Errorf("GET %s during ingest: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						t.Errorf("GET %s during ingest = %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	select {
+	case err := <-ingestDone:
+		if err != nil {
+			t.Errorf("background ingest: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Error("background ingest did not finish")
+	}
+	close(stop)
+	wg.Wait()
+
+	if runs := store.Runs(); len(runs) != 4 {
+		t.Errorf("store has %d runs after the stress, want 4", len(runs))
+	}
+}

@@ -1,0 +1,51 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/censor"
+)
+
+// BenchmarkStoreIngest prices one result ingestion: ring append plus the
+// write-time roll-ups (run counters, blocked sets, tally fold). Memory
+// is bounded by construction — the rings evict, the roll-ups count — so
+// steady-state allocations should stay near zero however long the
+// observatory runs; BENCH_monitor.json records the baseline.
+func BenchmarkStoreIngest(b *testing.B) {
+	vantages := []string{"Airtel", "Idea", "Vodafone", "MTNL"}
+	measurements := []string{"dns", "http"}
+	const domains = 256
+	results := make([]censor.Result, 0, len(vantages)*len(measurements)*domains)
+	for _, v := range vantages {
+		for _, m := range measurements {
+			for d := 0; d < domains; d++ {
+				r := censor.Result{
+					Vantage: v, Measurement: m,
+					Domain:  fmt.Sprintf("site-%04d.example", d),
+					Blocked: d%3 == 0,
+				}
+				if r.Blocked {
+					r.Mechanism = censor.MechanismNotification
+					r.Censor = v
+				}
+				results = append(results, r)
+			}
+		}
+	}
+
+	store := NewStore(WithRingSize(512))
+	sink := store.Begin("bench", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sink.Write(results[i%len(results)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "results/s")
+	if st := store.Stats(); st.Results > len(vantages)*len(measurements)*512 {
+		b.Fatalf("ring bound violated: %d raw results retained", st.Results)
+	}
+}

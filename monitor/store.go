@@ -1,0 +1,621 @@
+// Package monitor is the continuous-measurement observatory layer: the
+// long-running service half of the reproduction, on top of the censor
+// package's one-shot campaigns.
+//
+// The paper's study was a sequence of manual measurement campaigns; the
+// questions it could not ask — how blocklists churn week over week, when
+// a middlebox deployment changes behaviour — need a service that keeps
+// measuring and keeps the answers queryable. This package provides that
+// service in three pieces:
+//
+//   - [Store], a concurrency-safe in-memory result store implementing
+//     [censor.Sink]. Raw results live in bounded per-(scenario, vantage,
+//     measurement) ring buffers; every ingested result is also folded
+//     into per-run [censor.Tally] roll-ups at write time, so summary
+//     queries never scan raw results. Runs carry monotonic epochs.
+//   - [Scheduler], which executes recurring campaigns (per-job cadence
+//     and jitter, context-aware shutdown) against pooled sessions and
+//     ingests each run into the store.
+//   - [NewHandler], the HTTP face: /healthz plus the versioned /v1/*
+//     query and trigger endpoints cmd/censord serves.
+//
+// Store queries run concurrently with ingestion: Write takes the write
+// lock per result, queries take read locks, and every query returns
+// copies — a deliberate contrast with JSONLSink/CSVSink, which are only
+// safe single-writer through Stream.Drain.
+package monitor
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/censor"
+)
+
+// key addresses one ring buffer: raw results are retained per
+// (scenario, vantage, measurement) so one chatty detector cannot evict
+// another's history.
+type key struct {
+	Scenario, Vantage, Measurement string
+}
+
+// StoredResult is one retained measurement record: the uniform
+// censor.Result plus the observatory coordinates — which run (epoch)
+// produced it, under which scenario, its global ingestion sequence
+// number, and the wall-clock ingestion time.
+type StoredResult struct {
+	censor.Result
+	Run      int       `json:"run"`
+	Scenario string    `json:"scenario"`
+	Seq      uint64    `json:"seq"`
+	Time     time.Time `json:"time"`
+}
+
+// RunInfo describes one ingestion run: a scheduler campaign, an
+// on-demand API trigger, or a batch push from censorscan.
+type RunInfo struct {
+	// Run is the monotonic epoch, unique across all scenarios.
+	Run int `json:"run"`
+	// Scenario names the world the results were measured on.
+	Scenario string `json:"scenario"`
+	// Source records who ingested the run ("scheduler", "api", "push",
+	// "direct").
+	Source string `json:"source,omitempty"`
+	// Started/Finished bracket the ingestion wall-clock time; Finished is
+	// zero until the run's sink is flushed.
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Done reports whether the run's sink has been flushed.
+	Done bool `json:"done"`
+	// Results/Blocked/Errors count every ingested record of the run —
+	// ring eviction never decrements them.
+	Results int `json:"results"`
+	Blocked int `json:"blocked"`
+	Errors  int `json:"errors"`
+	// Err records a campaign that ended early (cancellation, sink
+	// failure); empty for a complete run.
+	Err string `json:"err,omitempty"`
+}
+
+// runState is one run's retained roll-up: its info row, the aggregate
+// (fed the same fold as a drained AggregateSink, so summaries match
+// byte-for-byte), and the per-vantage blocked-domain sets behind
+// DeltaSince.
+type runState struct {
+	info    RunInfo
+	agg     *censor.AggregateSink
+	blocked map[string]map[string]bool // vantage -> blocked domains
+}
+
+// ring is a fixed-capacity result buffer: append overwrites the oldest
+// entry once full.
+type ring struct {
+	buf     []StoredResult
+	head, n int
+}
+
+func (rg *ring) append(r StoredResult) (evicted bool) {
+	if rg.n < len(rg.buf) {
+		rg.buf[(rg.head+rg.n)%len(rg.buf)] = r
+		rg.n++
+		return false
+	}
+	rg.buf[rg.head] = r
+	rg.head = (rg.head + 1) % len(rg.buf)
+	return true
+}
+
+// each visits the ring's entries oldest-first.
+func (rg *ring) each(fn func(StoredResult)) {
+	for i := 0; i < rg.n; i++ {
+		fn(rg.buf[(rg.head+i)%len(rg.buf)])
+	}
+}
+
+// Store is the observatory's in-memory result store. It implements
+// censor.Sink (writes land in an implicit "direct" run) and hands out
+// per-run sinks via Begin for callers that manage run boundaries — the
+// Scheduler, the campaign-trigger endpoint, and the batch-push endpoint.
+//
+// Unlike the stream sinks, Store is explicitly safe for concurrent use:
+// any number of goroutines may Write (each write locks per result) while
+// any number query — Results, Summary, Runs, DeltaSince all take read
+// locks and return copies. Memory is bounded on both axes: raw results
+// by per-key ring buffers (WithRingSize), roll-ups by run retention
+// (WithRunRetention).
+type Store struct {
+	mu       sync.RWMutex
+	ringSize int
+	runCap   int
+	clock    func() time.Time
+
+	rings map[key]*ring
+	keys  []key // first-seen order, for deterministic iteration
+
+	runs    []*runState // retained runs, ascending epoch
+	nextRun int
+	nextSeq uint64
+
+	ingested uint64 // results ever written
+	evicted  uint64 // results displaced from rings
+
+	direct *RunSink // implicit run behind the Sink interface
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithRingSize bounds each (scenario, vantage, measurement) ring buffer
+// to n raw results (default 512). Aggregates are unaffected by eviction.
+func WithRingSize(n int) StoreOption {
+	return func(s *Store) {
+		if n > 0 {
+			s.ringSize = n
+		}
+	}
+}
+
+// WithRunRetention bounds how many runs keep their roll-ups (info,
+// tallies, delta sets); the oldest *finished* run is dropped past n
+// (default 64) — in-flight runs are never evicted.
+func WithRunRetention(n int) StoreOption {
+	return func(s *Store) {
+		if n > 0 {
+			s.runCap = n
+		}
+	}
+}
+
+// withClock injects the ingestion clock (tests).
+func withClock(fn func() time.Time) StoreOption {
+	return func(s *Store) { s.clock = fn }
+}
+
+// NewStore builds an empty store.
+func NewStore(opts ...StoreOption) *Store {
+	s := &Store{
+		ringSize: 512,
+		runCap:   64,
+		clock:    time.Now,
+		rings:    map[key]*ring{},
+		nextRun:  1,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// RunSink ingests one run's results into the store. It implements
+// censor.Sink: hand it to Stream.Drain, or Write from application code —
+// writes are individually locked, so concurrent writers are safe (their
+// interleaving decides sequence numbers). Flush finalizes the run;
+// writes after Flush fail.
+type RunSink struct {
+	s   *Store
+	run int
+}
+
+// Begin opens a new run under the given scenario name and returns its
+// sink. Epochs are monotonic across all scenarios and sources.
+func (s *Store) Begin(scenario, source string) *RunSink {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.beginLocked(scenario, source)
+}
+
+func (s *Store) beginLocked(scenario, source string) *RunSink {
+	st := &runState{
+		info: RunInfo{
+			Run:      s.nextRun,
+			Scenario: scenario,
+			Source:   source,
+			Started:  s.clock(),
+		},
+		agg:     censor.NewAggregateSink(),
+		blocked: map[string]map[string]bool{},
+	}
+	s.nextRun++
+	s.runs = append(s.runs, st)
+	if len(s.runs) > s.runCap {
+		// Evict the oldest finished run. An in-flight run is never
+		// dropped — its sink would start failing mid-campaign — so the
+		// cap can be transiently exceeded while many runs ingest at once.
+		for i, old := range s.runs {
+			if old.info.Done {
+				s.runs = append(s.runs[:i], s.runs[i+1:]...)
+				break
+			}
+		}
+	}
+	return &RunSink{s: s, run: st.info.Run}
+}
+
+// Run returns the sink's run epoch.
+func (rs *RunSink) Run() int { return rs.run }
+
+// Write ingests one result into the sink's run.
+func (rs *RunSink) Write(r censor.Result) error {
+	rs.s.mu.Lock()
+	defer rs.s.mu.Unlock()
+	return rs.s.writeLocked(rs.run, r)
+}
+
+// Flush finalizes the run: stamps Finished, marks it Done.
+func (rs *RunSink) Flush() error {
+	rs.s.mu.Lock()
+	defer rs.s.mu.Unlock()
+	st := rs.s.runLocked(rs.run)
+	if st == nil {
+		return fmt.Errorf("monitor: run %d evicted before flush", rs.run)
+	}
+	if !st.info.Done {
+		st.info.Done = true
+		st.info.Finished = rs.s.clock()
+	}
+	return nil
+}
+
+// FinishErr records a campaign error on the run (the stream ended early)
+// and finalizes it. Use after Stream.Drain returns non-nil; Drain has
+// already flushed the sink by then, so this only annotates the run.
+func (rs *RunSink) FinishErr(err error) {
+	rs.s.mu.Lock()
+	defer rs.s.mu.Unlock()
+	st := rs.s.runLocked(rs.run)
+	if st == nil {
+		return
+	}
+	if err != nil {
+		st.info.Err = err.Error()
+	}
+	if !st.info.Done {
+		st.info.Done = true
+		st.info.Finished = rs.s.clock()
+	}
+}
+
+func (s *Store) writeLocked(run int, r censor.Result) error {
+	st := s.runLocked(run)
+	if st == nil {
+		return fmt.Errorf("monitor: run %d not open", run)
+	}
+	if st.info.Done {
+		return fmt.Errorf("monitor: run %d already finished", run)
+	}
+
+	// Roll-ups first: counts survive ring eviction.
+	st.info.Results++
+	if r.Blocked {
+		st.info.Blocked++
+		set := st.blocked[r.Vantage]
+		if set == nil {
+			set = map[string]bool{}
+			st.blocked[r.Vantage] = set
+		}
+		set[r.Domain] = true
+	}
+	if r.Error != "" {
+		st.info.Errors++
+	}
+	st.agg.Write(r) // same fold as a drained AggregateSink
+
+	k := key{Scenario: st.info.Scenario, Vantage: r.Vantage, Measurement: r.Measurement}
+	rg, ok := s.rings[k]
+	if !ok {
+		rg = &ring{buf: make([]StoredResult, s.ringSize)}
+		s.rings[k] = rg
+		s.keys = append(s.keys, k)
+	}
+	s.nextSeq++
+	s.ingested++
+	if rg.append(StoredResult{
+		Result:   r,
+		Run:      run,
+		Scenario: st.info.Scenario,
+		Seq:      s.nextSeq,
+		Time:     s.clock(),
+	}) {
+		s.evicted++
+	}
+	return nil
+}
+
+func (s *Store) runLocked(run int) *runState {
+	// Retained runs are few (runCap) and ascending; scan from the tail,
+	// where the open runs live.
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		if s.runs[i].info.Run == run {
+			return s.runs[i]
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------- censor.Sink face
+
+// Write implements censor.Sink on the store itself: results land in an
+// implicit run (scenario "", source "direct") opened on first write.
+// Callers that know their run boundaries should prefer Begin.
+func (s *Store) Write(r censor.Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.direct == nil {
+		s.direct = s.beginLocked("", "direct")
+	}
+	return s.writeLocked(s.direct.run, r)
+}
+
+// Flush finalizes the implicit run opened by Write; the next Write opens
+// a fresh one.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.direct == nil {
+		return nil
+	}
+	if st := s.runLocked(s.direct.run); st != nil && !st.info.Done {
+		st.info.Done = true
+		st.info.Finished = s.clock()
+	}
+	s.direct = nil
+	return nil
+}
+
+// --------------------------------------------------------------- queries
+
+// Stats is the store's health roll-up.
+type Stats struct {
+	// Runs counts retained runs; Open counts those not yet flushed.
+	Runs int `json:"runs"`
+	Open int `json:"open"`
+	// Results counts raw results currently retained in rings; Ingested
+	// and Evicted count lifetime writes and ring displacements.
+	Results  int    `json:"results"`
+	Ingested uint64 `json:"ingested"`
+	Evicted  uint64 `json:"evicted"`
+}
+
+// Stats reports the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Ingested: s.ingested, Evicted: s.evicted}
+	for _, rg := range s.rings {
+		st.Results += rg.n
+	}
+	st.Runs = len(s.runs)
+	for _, r := range s.runs {
+		if !r.info.Done {
+			st.Open++
+		}
+	}
+	return st
+}
+
+// Runs lists the retained runs in ascending epoch order.
+func (s *Store) Runs() []RunInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RunInfo, len(s.runs))
+	for i, st := range s.runs {
+		out[i] = st.info
+	}
+	return out
+}
+
+// Run returns one run's info.
+func (s *Store) Run(run int) (RunInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if st := s.runLocked(run); st != nil {
+		return st.info, true
+	}
+	return RunInfo{}, false
+}
+
+// LatestRun returns the newest finished run, optionally restricted to a
+// scenario ("" matches any).
+func (s *Store) LatestRun(scenario string) (RunInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		info := s.runs[i].info
+		if info.Done && (scenario == "" || info.Scenario == scenario) {
+			return info, true
+		}
+	}
+	return RunInfo{}, false
+}
+
+// Query selects stored results. The zero Query matches everything;
+// string fields match exactly when non-empty.
+type Query struct {
+	Scenario    string
+	Vantage     string
+	Measurement string
+	Mechanism   string
+	Domain      string
+	// Run selects one epoch exactly (0 = any); SinceRun selects every
+	// epoch ≥ its value — the longitudinal "what changed since" filter.
+	Run, SinceRun int
+	// Since keeps results ingested at or after the given wall-clock time.
+	Since time.Time
+	// BlockedOnly keeps only positive verdicts.
+	BlockedOnly bool
+	// Latest keeps only the N most recently ingested matches (0 = all).
+	Latest int
+}
+
+func (q Query) match(r StoredResult) bool {
+	if q.Scenario != "" && r.Scenario != q.Scenario {
+		return false
+	}
+	if q.Vantage != "" && r.Vantage != q.Vantage {
+		return false
+	}
+	if q.Measurement != "" && r.Measurement != q.Measurement {
+		return false
+	}
+	if q.Mechanism != "" && r.Mechanism != q.Mechanism {
+		return false
+	}
+	if q.Domain != "" && r.Domain != q.Domain {
+		return false
+	}
+	if q.Run != 0 && r.Run != q.Run {
+		return false
+	}
+	if q.SinceRun != 0 && r.Run < q.SinceRun {
+		return false
+	}
+	if !q.Since.IsZero() && r.Time.Before(q.Since) {
+		return false
+	}
+	if q.BlockedOnly && !r.Blocked {
+		return false
+	}
+	return true
+}
+
+// Results returns the retained results matching the query, in global
+// ingestion order (ascending Seq); with Latest set, only the newest N.
+// The slice and its entries are copies — callers own them.
+func (s *Store) Results(q Query) []StoredResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []StoredResult
+	for _, k := range s.keys {
+		if q.Scenario != "" && k.Scenario != q.Scenario {
+			continue
+		}
+		if q.Vantage != "" && k.Vantage != q.Vantage {
+			continue
+		}
+		if q.Measurement != "" && k.Measurement != q.Measurement {
+			continue
+		}
+		s.rings[k].each(func(r StoredResult) {
+			if q.match(r) {
+				out = append(out, r)
+			}
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if q.Latest > 0 && len(out) > q.Latest {
+		out = out[len(out)-q.Latest:]
+	}
+	return out
+}
+
+// VantageSummary is one vantage's roll-up inside a run summary.
+type VantageSummary struct {
+	Vantage string       `json:"vantage"`
+	Tally   censor.Tally `json:"tally"`
+}
+
+// RunSummary is one run's aggregate view: its info row plus the
+// per-vantage tallies, in the campaign's vantage order. Built entirely
+// from write-time roll-ups — no raw-result scan.
+type RunSummary struct {
+	RunInfo
+	Vantages []VantageSummary `json:"vantages"`
+}
+
+// Summary returns one run's aggregate (false if the run was evicted or
+// never existed).
+func (s *Store) Summary(run int) (RunSummary, bool) {
+	s.mu.RLock()
+	st := s.runLocked(run)
+	if st == nil {
+		s.mu.RUnlock()
+		return RunSummary{}, false
+	}
+	info := st.info
+	agg := st.agg
+	s.mu.RUnlock()
+	// AggregateSink has its own lock; reading it outside the store lock
+	// keeps ingest flowing during summary marshalling.
+	out := RunSummary{RunInfo: info}
+	for _, v := range agg.Vantages() {
+		out.Vantages = append(out.Vantages, VantageSummary{Vantage: v, Tally: agg.TallyFor(v)})
+	}
+	return out, true
+}
+
+// SummaryText renders one run's aggregate exactly as a drained
+// censor.AggregateSink would: same fold, same renderer, byte-for-byte
+// identical to draining the run's stream into an AggregateSink directly.
+func (s *Store) SummaryText(run int) (string, bool) {
+	s.mu.RLock()
+	st := s.runLocked(run)
+	if st == nil {
+		s.mu.RUnlock()
+		return "", false
+	}
+	agg := st.agg
+	s.mu.RUnlock()
+	return agg.Summary(), true
+}
+
+// VantageDelta is one vantage's blocklist churn between two runs.
+type VantageDelta struct {
+	Vantage string `json:"vantage"`
+	// Added lists domains blocked in the later run but not the earlier;
+	// Removed the reverse. Sorted.
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// Delta is the blocklist churn between two runs — the longitudinal view
+// the paper's one-shot campaigns could not produce.
+type Delta struct {
+	From     int            `json:"from"`
+	To       int            `json:"to"`
+	Vantages []VantageDelta `json:"vantages"`
+}
+
+// DeltaSince computes per-vantage blocked-domain churn from run `from`
+// to run `to`. Vantages appear in the later run's first-write order,
+// then any vantage only the earlier run saw.
+func (s *Store) DeltaSince(from, to int) (Delta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a := s.runLocked(from)
+	b := s.runLocked(to)
+	if a == nil {
+		return Delta{}, fmt.Errorf("monitor: run %d not retained", from)
+	}
+	if b == nil {
+		return Delta{}, fmt.Errorf("monitor: run %d not retained", to)
+	}
+	d := Delta{From: from, To: to}
+	vantages := append([]string(nil), b.agg.Vantages()...)
+	for _, v := range a.agg.Vantages() {
+		if !slices.Contains(vantages, v) {
+			vantages = append(vantages, v)
+		}
+	}
+	for _, v := range vantages {
+		vd := VantageDelta{Vantage: v}
+		for dom := range b.blocked[v] {
+			if !a.blocked[v][dom] {
+				vd.Added = append(vd.Added, dom)
+			}
+		}
+		for dom := range a.blocked[v] {
+			if !b.blocked[v][dom] {
+				vd.Removed = append(vd.Removed, dom)
+			}
+		}
+		sort.Strings(vd.Added)
+		sort.Strings(vd.Removed)
+		if len(vd.Added) > 0 || len(vd.Removed) > 0 {
+			d.Vantages = append(d.Vantages, vd)
+		}
+	}
+	return d, nil
+}
