@@ -66,7 +66,7 @@ func measureBaseline(v *Vantage, domain string, tries int) (baseline, error) {
 		b.dnsPoisoned = answersManipulated(v, domain, local, b.torSet)
 	}
 	for attempt := 0; attempt < tries && !b.httpCensored; attempt++ {
-		fr := probe.GetFrom(p.ISP.Client, b.torAddrs[0], domain, nil, p.Timeout)
+		fr := p.FetchDirectAt(domain, b.torAddrs[0])
 		if fr.SawIPID242 {
 			b.sawIPID242 = true
 		}

@@ -127,12 +127,15 @@ func withFreshReplicaWorlds() Option {
 // merger then emits task outputs in task order. WithWorkers(N) for any
 // N ≥ 1 therefore yields byte-identical streams.
 //
-// Replicas are pooled per worker: a worker builds its world once, and
-// after each task an engine-level reset rewinds it to the just-built
+// Replicas are pooled per worker and across campaigns: a worker checks a
+// parked world out of the session pool (or builds one on its first task),
+// and after each task an engine-level reset rewinds it to the just-built
 // state (the reset world is indistinguishable from a fresh build — that
 // is the pooling contract the determinism tests enforce). A campaign
 // therefore pays for at most workers world builds instead of one per
-// (vantage, measurement) task.
+// (vantage, measurement) task, and a session's later campaigns usually
+// pay none at all — the shape the censord scheduler leans on for its
+// recurring runs.
 func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stream, error) {
 	cfg := s.cfg
 	for _, o := range opts {
@@ -200,12 +203,14 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Replica pool, one slot per worker: the world is built lazily
-			// on the worker's first task pickup (never for an idle worker)
-			// and handed back after each task with an engine-level Reset
-			// restoring pristine state. With workers capped at the task
-			// count above, a campaign builds at most min(workers, tasks)
-			// worlds.
+			// Replica pool, one slot per worker: the world comes from the
+			// session's cross-run pool when a previous campaign parked one,
+			// else it is built lazily on the worker's first task pickup
+			// (never for an idle worker), and is handed back after each
+			// task with an engine-level Reset restoring pristine state.
+			// With workers capped at the task count above, a campaign
+			// builds at most min(workers, tasks) worlds — and a session's
+			// second campaign usually builds none.
 			var world *ispnet.World
 			for i := range idxCh {
 				if ctx.Err() != nil {
@@ -213,7 +218,12 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 					continue
 				}
 				if world == nil {
-					world = newReplicaWorld(cfg.world)
+					if !cfg.freshReplicas {
+						world = s.takeReplica()
+					}
+					if world == nil {
+						world = newReplicaWorld(cfg.world)
+					}
 				}
 				results[i] = runTask(ctx, world, cfg, tasks[i], domains)
 				if cfg.freshReplicas {
@@ -222,6 +232,11 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 					world.Reset()
 				}
 				close(done[i])
+			}
+			if world != nil && !cfg.freshReplicas {
+				// The world was reset after its last task: park it pristine
+				// for the session's next campaign.
+				s.parkReplica(world)
 			}
 		}()
 	}

@@ -213,6 +213,41 @@ type Session struct {
 
 	mu    sync.Mutex // guards world: the sim engine is single-threaded
 	world *ispnet.World
+
+	// replicaMu guards replicas: reset replica worlds parked between
+	// campaigns, so back-to-back Runs (the censord scheduler's recurring
+	// firings, benchmark loops) stop paying world builds entirely. Every
+	// parked world satisfies the Reset contract — indistinguishable from a
+	// fresh build — which is what keeps cross-run pooling invisible in the
+	// output.
+	replicaMu sync.Mutex
+	replicas  []*ispnet.World
+}
+
+// replicaPoolMax bounds how many reset replica worlds a session parks
+// between campaigns.
+const replicaPoolMax = 16
+
+// takeReplica checks a parked replica world out of the session pool.
+func (s *Session) takeReplica() *ispnet.World {
+	s.replicaMu.Lock()
+	defer s.replicaMu.Unlock()
+	if n := len(s.replicas); n > 0 {
+		w := s.replicas[n-1]
+		s.replicas[n-1] = nil
+		s.replicas = s.replicas[:n-1]
+		return w
+	}
+	return nil
+}
+
+// parkReplica checks a reset replica world back in for the next campaign.
+func (s *Session) parkReplica(w *ispnet.World) {
+	s.replicaMu.Lock()
+	defer s.replicaMu.Unlock()
+	if len(s.replicas) < replicaPoolMax {
+		s.replicas = append(s.replicas, w)
+	}
 }
 
 // NewSession builds the world and validates the configuration.

@@ -19,6 +19,7 @@
 //	POST /v1/results?scenario=...  ingest a JSONL batch (censorscan -push)
 //	GET  /v1/summary[?format=text] per-vantage aggregates
 //	GET  /v1/delta?from=N[&to=M]   blocked-domain churn between runs
+//	GET  /debug/pprof/...          profiling (only with -pprof)
 //
 // Usage:
 //
@@ -34,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,17 +59,18 @@ func main() {
 	runCap := flag.Int("runs", 64, "how many runs keep their roll-ups")
 	timeout := flag.Duration("timeout", 3*time.Second, "per-probe network timeout")
 	seed := flag.Int64("seed", 0, "override the world seed (0 = scenario default)")
+	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	if err := run(*listen, *scenario, *every, *jitter, *workers, *domains,
-		*measure, *isps, *ringSize, *runCap, *timeout, *seed); err != nil {
+		*measure, *isps, *ringSize, *runCap, *timeout, *seed, *withPprof); err != nil {
 		fmt.Fprintf(os.Stderr, "censord: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen, scenario string, every, jitter time.Duration, workers, domainCap int,
-	measure, isps string, ringSize, runCap int, timeout time.Duration, seed int64) error {
+	measure, isps string, ringSize, runCap int, timeout time.Duration, seed int64, withPprof bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -119,7 +122,20 @@ func run(listen, scenario string, every, jitter time.Duration, workers, domainCa
 		go sched.Run(ctx) //nolint:errcheck // exits with ctx at shutdown
 	}
 
-	srv := &http.Server{Addr: listen, Handler: monitor.NewHandler(store, sched)}
+	var handler http.Handler = monitor.NewHandler(store, sched)
+	if withPprof {
+		// Profiling endpoints for live perf work against a running
+		// observatory; opt-in because they expose internals.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Addr: listen, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "censord: listening on %s\n", listen)

@@ -24,6 +24,7 @@
 //	censorscan -scenario dns-only -measure dns,http -format summary
 //	censorscan -scenario my_world.json -workers 8 > results.jsonl
 //	censorscan -quick -measure dns -push http://localhost:8080 > results.jsonl
+//	censorscan -quick -campaign -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
 //
 // -push POSTs the finished campaign's JSONL to a running censord
 // (cmd/censord) so batch runs land in the observatory's store.
@@ -39,6 +40,8 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -64,6 +67,8 @@ func main() {
 	push := flag.String("push", "", "POST the finished campaign's JSONL results to a running censord at this base URL")
 	timeout := flag.Duration("timeout", 3*time.Second, "per-probe network timeout")
 	seed := flag.Int64("seed", 0, "override the world seed (0 = calibrated default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -128,6 +133,41 @@ func main() {
 		}
 	}
 	reduced := *quick || world.Name == "small"
+
+	// Profiling hooks, so perf work on the measurement engine is
+	// profile-driven rather than guessed: the profiles wrap everything from
+	// the world build to the last result. They are written on the normal
+	// return paths (error exits abandon them).
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "censorscan: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "censorscan: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "censorscan: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "censorscan: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	opts := []censor.Option{censor.WithScenario(world), censor.WithTimeout(*timeout)}
 	if *seed != 0 {

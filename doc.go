@@ -21,9 +21,19 @@
 // paper's calibration is just the "paper-2018" entry next to regimes the
 // study never observed (dns-only, all-interceptive, a no-censorship
 // control). Campaign workers pool world replicas — one build lazily per
-// task-picking worker, engine-level reset between tasks — so parallel
-// campaigns stay byte-identical to sequential ones while building at
-// most min(workers, tasks) worlds.
+// task-picking worker, engine-level reset between tasks, reset replicas
+// parked on the session across campaigns — so parallel campaigns stay
+// byte-identical to sequential ones while building at most min(workers,
+// tasks) worlds, and usually none after the first run.
+//
+// Underneath, the simulation engine (internal/sim) is built for the
+// packet hot path: events live by value in a recycled arena behind a
+// binary heap of slot indices, cancellation hands out generation-counted
+// timers, and packet hops are scheduled closure-free through
+// ScheduleCall, with transient wire bytes drawn from a per-network free
+// list. Steady state, a forwarded packet allocates nothing — the
+// property the netsim zero-alloc test and the CI benchmark gate pin
+// down. See README.md's Performance section.
 //
 // The monitor package is the service layer over all of that: a
 // Scheduler for recurring campaigns, a bounded concurrency-safe result

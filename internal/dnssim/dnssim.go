@@ -131,5 +131,5 @@ func (r *Resolver) handle(pkt *netpkt.Packet) {
 	out := netpkt.NewUDP(r.host.Addr(), pkt.IP.Src, &netpkt.UDPDatagram{
 		SrcPort: 53, DstPort: pkt.UDP.SrcPort, Payload: payload,
 	})
-	r.host.Engine().Schedule(r.latency, func() { r.host.Send(out) })
+	r.host.SendAfter(r.latency, out)
 }

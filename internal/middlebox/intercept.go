@@ -21,6 +21,9 @@ type Interceptor struct {
 
 	net *netsim.Network
 	tbl *flowTable
+	// notif is the forged notification body, rendered once (overt boxes
+	// only); the style is build-time configuration.
+	notif []byte
 
 	// Triggers counts censorship events; Blackholed counts packets
 	// dropped on already-triggered flows (the timed-out 4-way teardowns).
@@ -32,6 +35,9 @@ type Interceptor struct {
 // Router.AttachInline.
 func NewInterceptor(net *netsim.Network, cfg Config, overt bool) *Interceptor {
 	im := &Interceptor{Cfg: cfg, Overt: overt, ReplyDelay: time.Millisecond, net: net}
+	if overt {
+		im.notif = cfg.Style.ResponseBytes()
+	}
 	im.tbl = newFlowTable(cfg.timeout(), net.Engine().Now)
 	return im
 }
@@ -39,7 +45,7 @@ func NewInterceptor(net *netsim.Network, cfg Config, overt bool) *Interceptor {
 // Reset clears the box's flow table and trigger counters, restoring the
 // just-deployed state for world pooling.
 func (im *Interceptor) Reset() {
-	im.tbl = newFlowTable(im.Cfg.timeout(), im.net.Engine().Now)
+	im.tbl.reset()
 	im.Triggers = 0
 	im.Blackholed = 0
 }
@@ -87,7 +93,7 @@ func (im *Interceptor) Process(pkt *netpkt.Packet, at *netsim.Router) bool {
 	eng := im.net.Engine()
 
 	if im.Overt {
-		notif := im.Cfg.Style.ResponseBytes()
+		notif := im.notif
 		eng.Schedule(im.ReplyDelay, func() {
 			p := netpkt.NewTCP(server, client, &netpkt.TCPSegment{
 				SrcPort: sPort, DstPort: cPort,

@@ -147,6 +147,9 @@ func newFlowTable(timeout time.Duration, now func() sim.Time) *flowTable {
 	return &flowTable{flows: make(map[netpkt.FlowKey]*flowState), timeout: timeout, now: now}
 }
 
+// reset drops all flow state in place, keeping map capacity.
+func (t *flowTable) reset() { clear(t.flows) }
+
 // get returns live state for the client-first key, purging it when expired.
 func (t *flowTable) get(key netpkt.FlowKey) *flowState {
 	st, ok := t.flows[key]

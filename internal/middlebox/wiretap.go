@@ -39,6 +39,9 @@ type Wiretap struct {
 
 	net *netsim.Network
 	tbl *flowTable
+	// notif is the forged notification body, rendered once — the style is
+	// build-time configuration, so every trigger reuses the same bytes.
+	notif []byte
 
 	// Triggers counts censorship events fired; LostRaces the subset
 	// deliberately delayed.
@@ -53,6 +56,7 @@ func NewWiretap(net *netsim.Network, cfg Config, lossProb float64) *Wiretap {
 		InjectDelay: 2 * time.Millisecond,
 		SlowDelay:   400 * time.Millisecond,
 		net:         net,
+		notif:       cfg.Style.ResponseBytes(),
 	}
 	w.tbl = newFlowTable(cfg.timeout(), net.Engine().Now)
 	return w
@@ -61,7 +65,7 @@ func NewWiretap(net *netsim.Network, cfg Config, lossProb float64) *Wiretap {
 // Reset clears the box's flow table and trigger counters, restoring the
 // just-deployed state for world pooling.
 func (w *Wiretap) Reset() {
-	w.tbl = newFlowTable(w.Cfg.timeout(), w.net.Engine().Now)
+	w.tbl.reset()
 	w.Triggers = 0
 	w.LostRaces = 0
 }
@@ -89,7 +93,7 @@ func (w *Wiretap) Observe(pkt *netpkt.Packet, at *netsim.Router) {
 
 	client, server := pkt.IP.Src, pkt.IP.Dst
 	cPort, sPort := pkt.TCP.SrcPort, pkt.TCP.DstPort
-	notif := w.Cfg.Style.ResponseBytes()
+	notif := w.notif
 	seq := st.serverNxt
 	ack := pkt.TCP.Seq + pkt.TCP.SeqSpan()
 

@@ -51,8 +51,12 @@ func (m *ICMPMessage) Kind() string {
 
 const icmpHeaderLen = 8
 
-func (m *ICMPMessage) marshal() ([]byte, error) {
-	b := make([]byte, icmpHeaderLen+len(m.Original))
+func (m *ICMPMessage) appendMarshal(dst []byte) []byte {
+	start := len(dst)
+	var hdr [icmpHeaderLen]byte
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, m.Original...)
+	b := dst[start:]
 	b[0] = uint8(m.Type)
 	b[1] = m.Code
 	switch m.Type {
@@ -60,9 +64,8 @@ func (m *ICMPMessage) marshal() ([]byte, error) {
 		binary.BigEndian.PutUint16(b[4:6], m.ID)
 		binary.BigEndian.PutUint16(b[6:8], m.Seq)
 	}
-	copy(b[icmpHeaderLen:], m.Original)
 	binary.BigEndian.PutUint16(b[2:4], checksum(b))
-	return b, nil
+	return dst
 }
 
 func parseICMP(b []byte) (*ICMPMessage, error) {
@@ -83,22 +86,63 @@ func parseICMP(b []byte) (*ICMPMessage, error) {
 	return m, nil
 }
 
+// icmpQuoteLen is how much of the expired datagram an ICMP error embeds.
+// RFC 792: IP header + 64 bits of original payload. Modern stacks embed
+// more; we keep 28 bytes (20-byte header + 8), enough for flow matching.
+const icmpQuoteLen = 28
+
+// AppendQuote appends the first icmpQuoteLen bytes of the packet's wire
+// image to dst — the quote an ICMP error embeds — byte-identical to a
+// full AppendMarshal truncated to that length. For TCP the quoted
+// transport prefix is just ports plus sequence number, none of which
+// touch the transport checksum, so the quote is built directly without
+// serializing the payload; other transports (whose checksum field sits
+// inside the quote) fall back to a full marshal.
+func (p *Packet) AppendQuote(dst []byte) ([]byte, error) {
+	if p.TCP != nil && p.IP.Protocol == ProtoTCP {
+		start := len(dst)
+		var quote [icmpQuoteLen]byte
+		dst = append(dst, quote[:]...)
+		b := dst[start:]
+		p.fillIPv4Header(b, p.WireLen())
+		binary.BigEndian.PutUint16(b[20:22], p.TCP.SrcPort)
+		binary.BigEndian.PutUint16(b[22:24], p.TCP.DstPort)
+		binary.BigEndian.PutUint32(b[24:28], p.TCP.Seq)
+		return dst, nil
+	}
+	start := len(dst)
+	out, err := p.AppendMarshal(dst)
+	if err != nil {
+		return out, err
+	}
+	if len(out)-start > icmpQuoteLen {
+		out = out[:start+icmpQuoteLen]
+	}
+	return out, nil
+}
+
 // NewTimeExceeded builds the ICMP Time Exceeded message a router at
 // routerAddr sends back to the source of expired, embedding the first bytes
 // of the expired datagram.
 func NewTimeExceeded(routerAddr netip.Addr, expired *Packet) *Packet {
-	orig, err := expired.Marshal()
+	wire, err := expired.Marshal()
 	if err != nil {
-		orig = nil
+		wire = nil
 	}
-	// RFC 792: IP header + 64 bits of original payload. Modern stacks embed
-	// more; we keep 28 bytes (20-byte header + 8), enough for flow matching.
-	if len(orig) > 28 {
-		orig = orig[:28]
+	return NewTimeExceededFromWire(routerAddr, expired.IP.Src, wire)
+}
+
+// NewTimeExceededFromWire is NewTimeExceeded for callers that already hold
+// the expired datagram's wire bytes (e.g. marshaled into a pooled scratch
+// buffer): wire is quoted — copied, never retained — so the caller keeps
+// ownership of it.
+func NewTimeExceededFromWire(routerAddr, expiredSrc netip.Addr, wire []byte) *Packet {
+	if len(wire) > icmpQuoteLen {
+		wire = wire[:icmpQuoteLen]
 	}
 	return &Packet{
-		IP:   IPv4{Src: routerAddr, Dst: expired.IP.Src, TTL: 64, Protocol: ProtoICMP},
-		ICMP: &ICMPMessage{Type: ICMPTimeExceeded, Code: 0, Original: orig},
+		IP:   IPv4{Src: routerAddr, Dst: expiredSrc, TTL: 64, Protocol: ProtoICMP},
+		ICMP: &ICMPMessage{Type: ICMPTimeExceeded, Code: 0, Original: append([]byte(nil), wire...)},
 	}
 }
 

@@ -22,50 +22,83 @@ const ipv4HeaderLen = 20
 // Marshal serializes the whole packet (IP header + transport) into wire
 // bytes with valid checksums.
 func (p *Packet) Marshal() ([]byte, error) {
-	var payload []byte
+	return p.AppendMarshal(nil)
+}
+
+// WireLen returns the packet's marshaled size in bytes without
+// serializing, so pooled buffers can be sized to hold the wire image
+// outright.
+func (p *Packet) WireLen() int {
+	n := ipv4HeaderLen
+	switch {
+	case p.TCP != nil:
+		n += tcpHeaderLen + len(p.TCP.Payload)
+	case p.UDP != nil:
+		n += udpHeaderLen + len(p.UDP.Payload)
+	case p.ICMP != nil:
+		n += icmpHeaderLen + len(p.ICMP.Original)
+	}
+	return n
+}
+
+// AppendMarshal appends the packet's wire bytes (IP header + transport,
+// valid checksums) to dst and returns the extended slice. With a recycled
+// dst — typically one from a BufPool — serialization allocates nothing.
+func (p *Packet) AppendMarshal(dst []byte) ([]byte, error) {
+	start := len(dst)
+	var zero [ipv4HeaderLen]byte
+	dst = append(dst, zero[:]...)
 	var err error
 	switch {
 	case p.TCP != nil:
 		if p.IP.Protocol != ProtoTCP {
-			return nil, fmt.Errorf("netpkt: protocol %v with TCP layer", p.IP.Protocol)
+			return dst[:start], fmt.Errorf("netpkt: protocol %v with TCP layer", p.IP.Protocol)
 		}
-		payload, err = p.TCP.marshal(p.IP.Src, p.IP.Dst)
+		dst, err = p.TCP.appendMarshal(dst, p.IP.Src, p.IP.Dst)
 	case p.UDP != nil:
 		if p.IP.Protocol != ProtoUDP {
-			return nil, fmt.Errorf("netpkt: protocol %v with UDP layer", p.IP.Protocol)
+			return dst[:start], fmt.Errorf("netpkt: protocol %v with UDP layer", p.IP.Protocol)
 		}
-		payload, err = p.UDP.marshal(p.IP.Src, p.IP.Dst)
+		dst, err = p.UDP.appendMarshal(dst, p.IP.Src, p.IP.Dst)
 	case p.ICMP != nil:
 		if p.IP.Protocol != ProtoICMP {
-			return nil, fmt.Errorf("netpkt: protocol %v with ICMP layer", p.IP.Protocol)
+			return dst[:start], fmt.Errorf("netpkt: protocol %v with ICMP layer", p.IP.Protocol)
 		}
-		payload, err = p.ICMP.marshal()
+		dst = p.ICMP.appendMarshal(dst)
 	default:
-		return nil, fmt.Errorf("netpkt: packet has no transport layer")
+		return dst[:start], fmt.Errorf("netpkt: packet has no transport layer")
 	}
 	if err != nil {
-		return nil, err
+		return dst[:start], err
 	}
-	total := ipv4HeaderLen + len(payload)
+	total := len(dst) - start
 	if total > 0xffff {
-		return nil, fmt.Errorf("netpkt: packet too large (%d bytes)", total)
+		return dst[:start], fmt.Errorf("netpkt: packet too large (%d bytes)", total)
 	}
-	b := make([]byte, total)
+	p.fillIPv4Header(dst[start:], total)
+	return dst, nil
+}
+
+// fillIPv4Header writes the packet's IPv4 header (with checksum) into the
+// first 20 bytes of b, declaring a datagram of total wire length total.
+// Every header byte is written, so b need not be zeroed.
+func (p *Packet) fillIPv4Header(b []byte, total int) {
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = p.IP.TOS
 	binary.BigEndian.PutUint16(b[2:4], uint16(total))
 	binary.BigEndian.PutUint16(b[4:6], p.IP.ID)
+	b[6] = 0
 	if p.IP.DF {
 		b[6] = 0x40
 	}
+	b[7] = 0
 	b[8] = p.IP.TTL
 	b[9] = uint8(p.IP.Protocol)
-	src, dst := p.IP.Src.As4(), p.IP.Dst.As4()
+	b[10], b[11] = 0, 0
+	src, dstAddr := p.IP.Src.As4(), p.IP.Dst.As4()
 	copy(b[12:16], src[:])
-	copy(b[16:20], dst[:])
+	copy(b[16:20], dstAddr[:])
 	binary.BigEndian.PutUint16(b[10:12], checksum(b[:ipv4HeaderLen]))
-	copy(b[ipv4HeaderLen:], payload)
-	return b, nil
 }
 
 // Parse decodes wire bytes produced by Marshal (or any optionless IPv4

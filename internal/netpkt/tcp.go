@@ -63,8 +63,12 @@ func (t *TCPSegment) SeqSpan() uint32 {
 	return n
 }
 
-func (t *TCPSegment) marshal(src, dst netip.Addr) ([]byte, error) {
-	b := make([]byte, tcpHeaderLen+len(t.Payload))
+func (t *TCPSegment) appendMarshal(dst []byte, src, dstAddr netip.Addr) ([]byte, error) {
+	start := len(dst)
+	var hdr [tcpHeaderLen]byte
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, t.Payload...)
+	b := dst[start:]
 	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
 	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
 	binary.BigEndian.PutUint32(b[4:8], t.Seq)
@@ -72,9 +76,8 @@ func (t *TCPSegment) marshal(src, dst netip.Addr) ([]byte, error) {
 	b[12] = (tcpHeaderLen / 4) << 4
 	b[13] = uint8(t.Flags)
 	binary.BigEndian.PutUint16(b[14:16], t.Window)
-	copy(b[tcpHeaderLen:], t.Payload)
-	binary.BigEndian.PutUint16(b[16:18], checksumWithPseudo(pseudoHeaderSum(src, dst, ProtoTCP, len(b)), b))
-	return b, nil
+	binary.BigEndian.PutUint16(b[16:18], checksumWithPseudo(pseudoHeaderSum(src, dstAddr, ProtoTCP, len(b)), b))
+	return dst, nil
 }
 
 func parseTCP(b []byte, src, dst netip.Addr) (*TCPSegment, error) {

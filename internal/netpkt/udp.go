@@ -14,22 +14,25 @@ type UDPDatagram struct {
 
 const udpHeaderLen = 8
 
-func (u *UDPDatagram) marshal(src, dst netip.Addr) ([]byte, error) {
+func (u *UDPDatagram) appendMarshal(dst []byte, src, dstAddr netip.Addr) ([]byte, error) {
 	n := udpHeaderLen + len(u.Payload)
 	if n > 0xffff {
-		return nil, fmt.Errorf("netpkt: UDP datagram too large (%d bytes)", n)
+		return dst, fmt.Errorf("netpkt: UDP datagram too large (%d bytes)", n)
 	}
-	b := make([]byte, n)
+	start := len(dst)
+	var hdr [udpHeaderLen]byte
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, u.Payload...)
+	b := dst[start:]
 	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
 	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
 	binary.BigEndian.PutUint16(b[4:6], uint16(n))
-	copy(b[udpHeaderLen:], u.Payload)
-	ck := checksumWithPseudo(pseudoHeaderSum(src, dst, ProtoUDP, n), b)
+	ck := checksumWithPseudo(pseudoHeaderSum(src, dstAddr, ProtoUDP, n), b)
 	if ck == 0 {
 		ck = 0xffff // RFC 768: transmitted zero means "no checksum"
 	}
 	binary.BigEndian.PutUint16(b[6:8], ck)
-	return b, nil
+	return dst, nil
 }
 
 func parseUDP(b []byte, src, dst netip.Addr) (*UDPDatagram, error) {

@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/netpkt"
+	"repro/internal/sim"
+)
+
+// forwardChain builds a linear topology host A — r0 — r1 — … — r(n-1) — host
+// B and returns the engine, the sending host and a reusable packet
+// addressed to B.
+func forwardChain(tb testing.TB, hops int) (*sim.Engine, *Host, *netpkt.Packet) {
+	tb.Helper()
+	eng := sim.NewEngine(1)
+	n := New(eng)
+	routers := make([]*Router, hops)
+	for i := range routers {
+		routers[i] = n.AddRouter("r", 64500, netip.AddrFrom4([4]byte{10, 0, byte(i), 1}))
+		if i > 0 {
+			n.Link(routers[i-1], routers[i], time.Millisecond)
+		}
+	}
+	src := n.AddHost(netip.MustParseAddr("10.1.0.1"), routers[0], time.Millisecond)
+	dst := n.AddHost(netip.MustParseAddr("10.2.0.1"), routers[hops-1], time.Millisecond)
+	delivered := 0
+	dst.SetUDPHandler(4242, func(*netpkt.Packet) { delivered++ })
+	n.Build()
+	pkt := netpkt.NewUDP(src.Addr(), dst.Addr(), &netpkt.UDPDatagram{
+		SrcPort: 9999, DstPort: 4242, Payload: []byte("steady-state payload"),
+	})
+	return eng, src, pkt
+}
+
+// TestForwardSteadyStateZeroAlloc is the hot-path contract: once the
+// engine's arena is warm, forwarding a packet across N hops — send,
+// per-hop arrival, delivery dispatch — allocates nothing. The packet is
+// reused across iterations exactly like a pooled buffer would be.
+func TestForwardSteadyStateZeroAlloc(t *testing.T) {
+	eng, src, pkt := forwardChain(t, 8)
+	// Warm the engine arena and the route.
+	pkt.IP.TTL = 64
+	src.Send(pkt)
+	eng.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		pkt.IP.TTL = 64
+		src.Send(pkt)
+		eng.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state forward allocates %.1f objects per packet, want 0", allocs)
+	}
+}
+
+// BenchmarkPacketForward prices the end-to-end per-packet pipeline across
+// an 8-router path. CI runs it with -benchmem and fails the build if it
+// reports a nonzero allocs/op.
+func BenchmarkPacketForward(b *testing.B) {
+	eng, src, pkt := forwardChain(b, 8)
+	pkt.IP.TTL = 64
+	src.Send(pkt)
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.IP.TTL = 64
+		src.Send(pkt)
+		eng.Run()
+	}
+}
+
+// BenchmarkPacketForwardTapped is the same pipeline with a wiretap-style
+// per-hop inspection cost modelled by a counting tap, pricing the Observe
+// fan-out on the forwarding path.
+func BenchmarkPacketForwardTapped(b *testing.B) {
+	eng, src, pkt := forwardChain(b, 8)
+	// Attach a counting tap at every router.
+	seen := 0
+	var tap tapFunc = func(p *netpkt.Packet, at *Router) { seen++ }
+	for _, r := range src.Network().Routers() {
+		r.AttachTap(tap)
+	}
+	pkt.IP.TTL = 64
+	src.Send(pkt)
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.IP.TTL = 64
+		src.Send(pkt)
+		eng.Run()
+	}
+}
+
+// tapFunc adapts a function to the Tap interface for tests.
+type tapFunc func(*netpkt.Packet, *Router)
+
+func (f tapFunc) Observe(p *netpkt.Packet, at *Router) { f(p, at) }
+
+// TestFilteredDeliveryZeroAlloc pins the pooled ingress-filter path: the
+// wire image is marshaled into a buffer sized by WireLen, so a filtered
+// delivery — marshal, filter call, release — allocates nothing steady
+// state.
+func TestFilteredDeliveryZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := New(eng)
+	r := n.AddRouter("r", 64500, netip.MustParseAddr("10.0.0.1"))
+	src := n.AddHost(netip.MustParseAddr("10.1.0.1"), r, time.Millisecond)
+	dst := n.AddHost(netip.MustParseAddr("10.2.0.1"), r, time.Millisecond)
+	rawSeen := 0
+	dst.SetIngressFilter(func(raw []byte, p *netpkt.Packet) bool {
+		if len(raw) == p.WireLen() {
+			rawSeen++
+		}
+		return true
+	})
+	dst.SetUDPHandler(99, func(*netpkt.Packet) {})
+	n.Build()
+	pkt := netpkt.NewUDP(src.Addr(), dst.Addr(), &netpkt.UDPDatagram{
+		SrcPort: 1, DstPort: 99, Payload: bytes.Repeat([]byte("p"), 180),
+	})
+	pkt.IP.TTL = 64
+	src.Send(pkt)
+	eng.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		pkt.IP.TTL = 64
+		src.Send(pkt)
+		eng.Run()
+	})
+	if rawSeen == 0 {
+		t.Fatal("filter never saw a full wire image")
+	}
+	if allocs != 0 {
+		t.Errorf("filtered delivery allocates %.1f objects per packet, want 0", allocs)
+	}
+}

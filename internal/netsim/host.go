@@ -39,7 +39,9 @@ func (c Captured) String() string {
 // IngressFilter decides whether an arriving packet is accepted (true) or
 // dropped before any protocol processing. It is the simulation's iptables
 // hook: the paper's client-side anti-censorship drops middlebox FIN/RST
-// packets here, working from raw wire bytes.
+// packets here, working from raw wire bytes. raw comes from a pooled
+// buffer and is valid only for the duration of the call — filters that
+// need the bytes afterwards must copy (or parse) them.
 type IngressFilter func(raw []byte, pkt *netpkt.Packet) bool
 
 // Host is an end system: it originates packets and dispatches arriving ones
@@ -103,6 +105,13 @@ func (h *Host) Engine() *sim.Engine { return h.net.eng }
 // (normally the host's own address; raw probes may spoof).
 func (h *Host) Send(pkt *netpkt.Packet) { h.net.SendFromHost(h, pkt) }
 
+// SendAfter transmits a packet from this host after d of virtual time,
+// without building a per-call closure (the processing-latency pattern of
+// resolvers and middleboxes).
+func (h *Host) SendAfter(d time.Duration, pkt *netpkt.Packet) {
+	h.net.eng.ScheduleCall(d, h.net.sendFn, h, pkt)
+}
+
 // SetTCPHandler registers the function receiving all TCP packets
 // (typically a tcpsim.Stack).
 func (h *Host) SetTCPHandler(fn func(*netpkt.Packet)) { h.tcpHandler = fn }
@@ -136,12 +145,14 @@ func (h *Host) MarkBaseline() {
 }
 
 // RestoreBaseline rewinds the host to the MarkBaseline snapshot and drops
-// any in-progress capture. A no-op when no baseline was marked.
+// any in-progress capture. A no-op when no baseline was marked. The
+// handler map is cleared and refilled in place so a world reset does not
+// churn one allocation per host.
 func (h *Host) RestoreBaseline() {
 	if h.baseline == nil {
 		return
 	}
-	h.udpHandlers = make(map[uint16]func(*netpkt.Packet), len(h.baseline.udpHandlers))
+	clear(h.udpHandlers)
 	for p, fn := range h.baseline.udpHandlers {
 		h.udpHandlers[p] = fn
 	}
@@ -169,20 +180,35 @@ func (h *Host) StopCapture() []Captured {
 func (h *Host) Captures() []Captured { return h.captures }
 
 func (h *Host) capture(dir Direction, pkt *netpkt.Packet) {
-	if h.capturing {
-		h.captures = append(h.captures, Captured{At: h.net.eng.Now(), Dir: dir, Pkt: pkt.Clone()})
+	if !h.capturing {
+		return
 	}
+	rec := Captured{At: h.net.eng.Now(), Dir: dir, Pkt: pkt}
+	if dir == DirOut {
+		// Outbound packets mutate in flight (per-hop TTL decrement), so
+		// the record needs its own copy. Delivery is terminal — an inbound
+		// packet never changes again — so DirIn records share the packet.
+		rec.Pkt = pkt.Clone()
+	}
+	h.captures = append(h.captures, rec)
 }
 
 // deliver dispatches an arriving packet: filter, capture, then protocol
 // handler.
 func (h *Host) deliver(pkt *netpkt.Packet) {
 	if h.filter != nil {
-		raw, err := pkt.Marshal()
-		if err != nil {
-			raw = nil
+		// Eager pooled marshal: the buffer is sized to the wire image so
+		// serialization never reallocates, and a lazy raw thunk would cost
+		// the closure allocation this path exists to avoid.
+		buf := h.net.pool.Get(pkt.WireLen())
+		var raw []byte
+		if out, err := pkt.AppendMarshal(buf); err == nil {
+			raw = out
+			buf = out
 		}
-		if !h.filter(raw, pkt) {
+		keep := h.filter(raw, pkt)
+		h.net.pool.Put(buf)
+		if !keep {
 			return
 		}
 	}

@@ -106,12 +106,32 @@ type Network struct {
 	// Drops counts packets dropped for having no route or no receiving
 	// host; useful for experiment sanity checks.
 	Drops uint64
+
+	// pool recycles transient wire buffers (ingress-filter images, ICMP
+	// quotes); single-threaded like the engine.
+	pool netpkt.BufPool
+	// arriveFn/deliverFn/sendFn are the long-lived dispatch callbacks the
+	// hot path schedules through sim.Engine.ScheduleCall, so forwarding a
+	// packet across N hops builds no per-hop closures: steady state, a
+	// forwarded packet allocates nothing.
+	arriveFn  func(a, b any)
+	deliverFn func(a, b any)
+	sendFn    func(a, b any)
 }
 
 // New creates an empty network on the given engine.
 func New(eng *sim.Engine) *Network {
-	return &Network{eng: eng, hosts: make(map[netip.Addr]*Host)}
+	n := &Network{eng: eng, hosts: make(map[netip.Addr]*Host)}
+	n.arriveFn = func(a, b any) { n.arriveAtRouter(a.(*Router), b.(*netpkt.Packet)) }
+	n.deliverFn = func(a, b any) { a.(*Host).deliver(b.(*netpkt.Packet)) }
+	n.sendFn = func(a, b any) { n.SendFromHost(a.(*Host), b.(*netpkt.Packet)) }
+	return n
 }
+
+// BufPool exposes the network's wire-buffer free list for components that
+// serialize on the packet path (same single-threaded contract as the
+// engine).
+func (n *Network) BufPool() *netpkt.BufPool { return &n.pool }
 
 // Engine returns the simulation engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
@@ -377,7 +397,7 @@ func (n *Network) SendFromHost(h *Host, pkt *netpkt.Packet) {
 		panic("netsim: Build not called")
 	}
 	h.capture(DirOut, pkt)
-	n.eng.Schedule(h.accessLatency, func() { n.arriveAtRouter(h.router, pkt) })
+	n.eng.ScheduleCall(h.accessLatency, n.arriveFn, h.router, pkt)
 }
 
 // InjectAt routes a packet into the network as if generated at router r
@@ -408,7 +428,7 @@ func (n *Network) arriveAtRouter(r *Router, pkt *netpkt.Packet) {
 	if pkt.IP.TTL <= 1 {
 		pkt.IP.TTL = 0
 		if !r.Anonymized {
-			n.forwardFrom(r, netpkt.NewTimeExceeded(r.Addr, pkt))
+			n.forwardFrom(r, n.timeExceeded(r, pkt))
 		}
 		return
 	}
@@ -416,17 +436,36 @@ func (n *Network) arriveAtRouter(r *Router, pkt *netpkt.Packet) {
 	n.forwardFrom(r, pkt)
 }
 
+// timeExceeded builds the router's ICMP Time Exceeded for an expired
+// packet, quoting its wire image through the pooled scratch path. TCP
+// quotes never serialize the payload (AppendQuote); other transports
+// need the full image, so the buffer is sized for it up front.
+func (n *Network) timeExceeded(r *Router, expired *netpkt.Packet) *netpkt.Packet {
+	need := 64
+	if expired.TCP == nil {
+		need = expired.WireLen()
+	}
+	buf := n.pool.Get(need)
+	wire, err := expired.AppendQuote(buf)
+	if err != nil {
+		wire = buf[:0]
+	}
+	te := netpkt.NewTimeExceededFromWire(r.Addr, expired.IP.Src, wire)
+	n.pool.Put(wire)
+	return te
+}
+
 // forwardFrom moves a packet one step from router r: local delivery if the
 // destination host hangs off r, otherwise on to the next hop.
 func (n *Network) forwardFrom(r *Router, pkt *netpkt.Packet) {
 	dst := pkt.IP.Dst
 	if h, ok := n.hosts[dst]; ok && h.router == r {
-		n.eng.Schedule(h.accessLatency, func() { h.deliver(pkt) })
+		n.eng.ScheduleCall(h.accessLatency, n.deliverFn, h, pkt)
 		return
 	}
 	if r.policy != nil {
 		if next, ok := r.policy(dst); ok {
-			n.eng.Schedule(n.linkLatency(r.ID, next.ID), func() { n.arriveAtRouter(next, pkt) })
+			n.eng.ScheduleCall(n.linkLatency(r.ID, next.ID), n.arriveFn, next, pkt)
 			return
 		}
 	}
@@ -446,7 +485,7 @@ func (n *Network) forwardFrom(r *Router, pkt *netpkt.Packet) {
 		n.Drops++
 		return
 	}
-	n.eng.Schedule(n.linkLatency(r.ID, next.ID), func() { n.arriveAtRouter(next, pkt) })
+	n.eng.ScheduleCall(n.linkLatency(r.ID, next.ID), n.arriveFn, next, pkt)
 }
 
 // PathBetweenHosts returns the router path a packet from host a to host b

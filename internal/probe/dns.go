@@ -104,7 +104,7 @@ func (c *AnswerClassifier) Manipulated(domain string, addr netip.Addr, torSet ma
 	case suspect:
 		if !c.checked[addr] {
 			c.checked[addr] = true
-			fr := GetFrom(c.p.World.TorExit, addr, domain, nil, c.p.Timeout)
+			fr := GetFrom(c.p.World.TorExit, addr, domain, c.p.stdRequest(domain), c.p.Timeout)
 			c.verified[addr] = len(fr.Responses) > 0 && fr.Responses[0].StatusCode == 200
 		}
 		return !c.verified[addr]

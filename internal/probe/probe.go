@@ -50,6 +50,27 @@ type Probe struct {
 	// (DetectHTTP's manual verification, CollateralFor's race retries).
 	// Zero keeps each detector's paper-calibrated default.
 	Attempts int
+
+	// reqDomain/reqBytes cache the standard browser-style GET for the
+	// domain currently under measurement: a single detector run fetches
+	// the same domain several times (Tor ground path, direct fetch, the
+	// manual-verification retries), and all of them reuse one rendering.
+	reqDomain string
+	reqBytes  []byte
+}
+
+// stdRequest returns the standard browser-style GET bytes for domain,
+// rebuilt only when the domain changes. The returned slice is shared —
+// callers transmit it, never mutate it.
+func (p *Probe) stdRequest(domain string) []byte {
+	if p.reqDomain != domain || p.reqBytes == nil {
+		p.reqBytes = httpwire.NewGET("/").
+			Header("Host", domain).
+			Header("User-Agent", "Mozilla/5.0 (X11; Linux x86_64) repro/1.0").
+			Bytes()
+		p.reqDomain = domain
+	}
+	return p.reqBytes
 }
 
 // attempts resolves the retry count for a detector with default def.
@@ -228,12 +249,12 @@ func (p *Probe) FetchDirect(domain string) (*FetchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return GetFrom(p.ISP.Client, addrs[0], domain, nil, p.Timeout), nil
+	return GetFrom(p.ISP.Client, addrs[0], domain, p.stdRequest(domain), p.Timeout), nil
 }
 
 // FetchDirectAt fetches a domain from the ISP client at a known address.
 func (p *Probe) FetchDirectAt(domain string, addr netip.Addr) *FetchResult {
-	return GetFrom(p.ISP.Client, addr, domain, nil, p.Timeout)
+	return GetFrom(p.ISP.Client, addr, domain, p.stdRequest(domain), p.Timeout)
 }
 
 // FetchViaTor fetches through the Tor-like uncensored circuit: resolution
@@ -243,7 +264,7 @@ func (p *Probe) FetchViaTor(domain string) (*FetchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return GetFrom(p.World.TorExit, addrs[0], domain, nil, p.Timeout), nil
+	return GetFrom(p.World.TorExit, addrs[0], domain, p.stdRequest(domain), p.Timeout), nil
 }
 
 // SiteRegionAddr is a convenience for tests: the address a region sees.

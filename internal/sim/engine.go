@@ -5,10 +5,19 @@
 // engine is strictly single-threaded: callbacks run inside Run/RunUntil on
 // the caller's goroutine, which makes every experiment bit-for-bit
 // reproducible for a given seed.
+//
+// The scheduler is built for the packet hot path: events are stored by
+// value in an arena (a slot-addressed slice that is recycled, never
+// freed), the priority queue is a binary heap of arena indices, and
+// cancellation hands out generation-counted Timer values instead of
+// pinning per-event allocations. Steady state, Schedule and ScheduleCall
+// allocate nothing: scheduling a packet hop costs a slot reuse and a heap
+// sift. Cancelled events die lazily — they are skipped when popped, and
+// when more than half the queue is dead the heap compacts in one pass —
+// so mass-cancelled timers cannot grow Pending memory unboundedly.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -28,53 +37,46 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the duration between t and u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
-// event is a scheduled callback.
+// event is a scheduled callback, stored by value in the engine's arena.
+// Exactly one of fn and fn2 is set; fn2 carries its two arguments inline
+// so hot-path callers can schedule without building a closure.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break so equal-time events run FIFO
 	fn   func()
+	fn2  func(a, b any)
+	a, b any
+	// gen counts the slot's reuses; a Timer whose generation no longer
+	// matches refers to an event that already ran, was cancelled, or was
+	// dropped by Reset.
+	gen  uint32
 	dead bool
-	idx  int
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// Timer is a handle to a scheduled event; Stop cancels it. The zero Timer
+// is valid and Stop on it reports false.
+type Timer struct {
+	eng *Engine
+	idx int32
+	gen uint32
 }
 
-// Timer is a handle to a scheduled event; Stop cancels it.
-type Timer struct{ ev *event }
-
-// Stop cancels the timer. It reports whether the callback had not yet run.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+// Stop cancels the timer. It reports whether the callback had not yet run:
+// false when the event already executed, was already stopped, or was
+// dropped by an engine Reset.
+func (t Timer) Stop() bool {
+	e := t.eng
+	if e == nil || int(t.idx) >= len(e.arena) {
 		return false
 	}
-	t.ev.dead = true
+	ev := &e.arena[t.idx]
+	if ev.gen != t.gen || ev.dead {
+		return false
+	}
+	ev.dead = true
+	ev.fn, ev.fn2, ev.a, ev.b = nil, nil, nil, nil
+	e.deadCount++
+	e.maybeCompact()
 	return true
 }
 
@@ -85,9 +87,15 @@ type Engine struct {
 	now    Time
 	seq    uint64
 	seed   int64
-	queue  eventHeap
 	rng    *rand.Rand
 	events uint64 // total events executed, for instrumentation
+
+	arena []event // slot-addressed event storage, recycled via free
+	free  []int32 // released arena slots
+	heap  []int32 // binary heap of arena indices ordered by (at, seq)
+	// deadCount is how many cancelled events still sit in heap awaiting
+	// lazy removal.
+	deadCount int
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -101,12 +109,23 @@ func NewEngine(seed int64) *Engine {
 // pointers to it, so a world can be rewound without rebuilding — the
 // foundation of campaign world pooling. After Reset the engine is
 // indistinguishable from NewEngine(seed), which is what makes a reset
-// world produce byte-identical measurements to a freshly built one.
+// world produce byte-identical measurements to a freshly built one. The
+// arena keeps its capacity; slot generations advance so Timers from
+// before the reset can no longer cancel anything.
 func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
-	e.queue = nil
 	e.events = 0
+	e.deadCount = 0
+	e.heap = e.heap[:0]
+	e.free = e.free[:0]
+	for i := range e.arena {
+		ev := &e.arena[i]
+		ev.gen++
+		ev.fn, ev.fn2, ev.a, ev.b = nil, nil, nil, nil
+		ev.dead = false
+		e.free = append(e.free, int32(i))
+	}
 	e.rng = rand.New(rand.NewSource(e.seed))
 }
 
@@ -116,35 +135,179 @@ func (e *Engine) Now() Time { return e.now }
 // Rand exposes the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Pending returns the number of scheduled (not yet executed) events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of scheduled (not yet executed, not
+// cancelled) events.
+func (e *Engine) Pending() int { return len(e.heap) - e.deadCount }
 
 // Executed returns the total number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.events }
 
 // Schedule runs fn after delay d of virtual time. A negative delay is
 // treated as zero. The returned Timer can cancel the event.
-func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+func (e *Engine) Schedule(d Duration, fn func()) Timer {
+	idx := e.alloc(d)
+	e.arena[idx].fn = fn
+	return Timer{eng: e, idx: idx, gen: e.arena[idx].gen}
+}
+
+// ScheduleCall runs fn(a, b) after delay d of virtual time, storing the
+// two arguments inline in the event so the caller needs no per-event
+// closure. With a long-lived fn and pointer-shaped arguments a scheduled
+// packet hop allocates nothing.
+func (e *Engine) ScheduleCall(d Duration, fn func(a, b any), a, b any) Timer {
+	idx := e.alloc(d)
+	ev := &e.arena[idx]
+	ev.fn2, ev.a, ev.b = fn, a, b
+	return Timer{eng: e, idx: idx, gen: ev.gen}
+}
+
+// alloc reserves an arena slot for an event at now+d and pushes it on the
+// heap. The slot's callback fields are zero; callers fill them.
+func (e *Engine) alloc(d Duration) int32 {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{at: e.now.Add(d), seq: e.seq, fn: fn}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{})
+		idx = int32(len(e.arena) - 1)
+	}
+	ev := &e.arena[idx]
+	ev.at = e.now.Add(d)
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	e.heapPush(idx)
+	return idx
+}
+
+// release recycles an arena slot, invalidating outstanding Timers for it.
+func (e *Engine) release(idx int32) {
+	ev := &e.arena[idx]
+	ev.gen++
+	ev.fn, ev.fn2, ev.a, ev.b = nil, nil, nil, nil
+	ev.dead = false
+	e.free = append(e.free, idx)
+}
+
+// less orders heap entries by (at, seq); seq is unique so the order is
+// total and execution deterministic.
+func (e *Engine) less(x, y int32) bool {
+	a, b := &e.arena[x], &e.arena[y]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(idx int32) {
+	e.heap = append(e.heap, idx)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// heapPop removes and returns the smallest entry. The heap must be
+// non-empty.
+func (e *Engine) heapPop() int32 {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.heap = h[:last]
+	e.siftDown(0)
+	return top
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && e.less(h[r], h[l]) {
+			small = r
+		}
+		if !e.less(h[small], h[i]) {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// maybeCompact removes dead entries from the heap in one pass once they
+// outnumber the live ones, bounding the memory a burst of cancellations
+// can pin. Small heaps are left to lazy pop-time cleanup.
+func (e *Engine) maybeCompact() {
+	if e.deadCount*2 <= len(e.heap) || len(e.heap) < 64 {
+		return
+	}
+	live := e.heap[:0]
+	for _, idx := range e.heap {
+		if e.arena[idx].dead {
+			e.release(idx)
+		} else {
+			live = append(live, idx)
+		}
+	}
+	e.heap = live
+	e.deadCount = 0
+	for i := len(e.heap)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// peek returns the time of the earliest live event, pruning dead entries
+// off the top of the heap as it goes.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.heap) > 0 {
+		idx := e.heap[0]
+		if !e.arena[idx].dead {
+			return e.arena[idx].at, true
+		}
+		e.heapPop()
+		e.deadCount--
+		e.release(idx)
+	}
+	return 0, false
 }
 
 // step executes the earliest pending event. It reports false when the queue
 // is empty.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+	for len(e.heap) > 0 {
+		idx := e.heapPop()
+		ev := &e.arena[idx]
 		if ev.dead {
+			e.deadCount--
+			e.release(idx)
 			continue
 		}
-		e.now = ev.at
+		at := ev.at
+		fn, fn2, a, b := ev.fn, ev.fn2, ev.a, ev.b
+		// Release before running: the callback may schedule (growing the
+		// arena) and a Stop on this event's Timer must now report false —
+		// the callback is no longer pending.
+		e.release(idx)
+		e.now = at
 		e.events++
-		ev.fn()
+		if fn != nil {
+			fn()
+		} else {
+			fn2(a, b)
+		}
 		return true
 	}
 	return false
@@ -168,7 +331,11 @@ func (e *Engine) RunUntil(timeout Duration, cond func() bool) error {
 	if cond() {
 		return nil
 	}
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for {
+		at, ok := e.peek()
+		if !ok || at > deadline {
+			break
+		}
 		if !e.step() {
 			break
 		}
@@ -188,7 +355,11 @@ func (e *Engine) RunUntil(timeout Duration, cond func() bool) error {
 // later events queued. The clock always ends at now+d.
 func (e *Engine) RunFor(d Duration) {
 	deadline := e.now.Add(d)
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for {
+		at, ok := e.peek()
+		if !ok || at > deadline {
+			break
+		}
 		if !e.step() {
 			break
 		}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleRun prices the core scheduling loop: one event
+// scheduled and executed per iteration, steady state. The arena heap makes
+// this allocation-free; the closure form pays only for closures the caller
+// itself builds.
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	fn := func() { n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Millisecond, fn)
+		e.Run()
+	}
+}
+
+// BenchmarkScheduleCallRun is the closure-free hot-path form used by the
+// packet pipeline: fn plus two pointer arguments stored inline.
+func BenchmarkScheduleCallRun(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	fn := func(a, _ any) { n += *a.(*int) }
+	one := 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleCall(time.Millisecond, fn, &one, nil)
+		e.Run()
+	}
+}
+
+// BenchmarkScheduleDeep prices heap churn with a deep pending queue, the
+// shape of a busy world mid-campaign.
+func BenchmarkScheduleDeep(b *testing.B) {
+	e := NewEngine(1)
+	fn := func(a, _ any) {}
+	for i := 0; i < 4096; i++ {
+		e.ScheduleCall(time.Hour, fn, nil, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleCall(time.Millisecond, fn, nil, nil)
+		e.step()
+	}
+}
+
+// BenchmarkScheduleStop prices cancel-heavy workloads (retransmit timers,
+// handler expiries) including the lazy compaction they trigger.
+func BenchmarkScheduleStop(b *testing.B) {
+	e := NewEngine(1)
+	fn := func(a, _ any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.ScheduleCall(time.Millisecond, fn, nil, nil)
+		tm.Stop()
+	}
+	b.StopTimer()
+	e.Run()
+}
+
+// BenchmarkEngineReset prices the world-pooling rewind.
+func BenchmarkEngineReset(b *testing.B) {
+	e := NewEngine(1)
+	fn := func(a, _ any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.ScheduleCall(time.Millisecond, fn, nil, nil)
+		}
+		e.Reset()
+	}
+}

@@ -288,12 +288,17 @@ func (c *Conn) sendAck() {
 
 func (c *Conn) enterTimeWait() {
 	c.state = StateTimeWait
-	c.stack.eng.Schedule(time.Second, func() {
-		if c.state == StateTimeWait {
-			c.state = StateClosed
-			c.stack.remove(c)
-		}
-	})
+	c.stack.eng.ScheduleCall(time.Second, timeWaitExpire, c, nil)
+}
+
+// timeWaitExpire is the shared TIME-WAIT timer callback (scheduled via
+// ScheduleCall so teardown does not allocate a closure per connection).
+func timeWaitExpire(a, _ any) {
+	c := a.(*Conn)
+	if c.state == StateTimeWait {
+		c.state = StateClosed
+		c.stack.remove(c)
+	}
 }
 
 // WaitEstablished drives the engine until the handshake completes, the

@@ -202,10 +202,11 @@ func (s *Stack) OpenConns() int { return len(s.conns) }
 // Reset drops every connection and rewinds port allocation and counters to
 // the stack's just-constructed state. Listeners — build-time wiring of the
 // servers living on this host — are kept. Connection timers scheduled on
-// the engine must be discarded separately (Engine.Reset does).
+// the engine must be discarded separately (Engine.Reset does). Maps are
+// cleared in place, keeping their capacity for the next campaign task.
 func (s *Stack) Reset() {
-	s.conns = make(map[netpkt.FlowKey]*Conn)
-	s.portRefs = make(map[uint16]int)
+	clear(s.conns)
+	clear(s.portRefs)
 	s.nextPort = 32768
 	s.RSTsSent = 0
 }

@@ -63,8 +63,38 @@ type Server struct {
 	parking bool
 
 	fetches map[string]int
+	// respCache holds fully marshaled response bytes per (host, region,
+	// fetch) — page content is a pure function of those three, so the
+	// body rendering and header formatting run once per distinct page, not
+	// once per request. Entries for non-dynamic sites use fetch 0 (their
+	// content ignores the counter). The cache is correctness-neutral (a
+	// miss regenerates identical bytes) and therefore survives Reset.
+	respCache map[respKey][]byte
 	// Requests counts successfully served requests (tests/metrics).
 	Requests int
+}
+
+// respKey identifies one cached response.
+type respKey struct {
+	host   string
+	region Region
+	fetch  int
+}
+
+// respCacheMax bounds the cache; on overflow it is dropped wholesale
+// (regeneration is deterministic, so eviction never affects output).
+const respCacheMax = 4096
+
+func (s *Server) cachedResponse(key respKey) ([]byte, bool) {
+	b, ok := s.respCache[key]
+	return b, ok
+}
+
+func (s *Server) storeResponse(key respKey, b []byte) {
+	if s.respCache == nil || len(s.respCache) >= respCacheMax {
+		s.respCache = make(map[respKey][]byte)
+	}
+	s.respCache[key] = b
 }
 
 // NewServer attaches server logic to a TCP stack, listening on port 80.
@@ -86,9 +116,11 @@ func (s *Server) ServeParked() { s.parking = true }
 
 // Reset rewinds per-fetch state — the fetch counters that drive dynamic
 // content and the request tally — to the just-built state. Hosted sites
-// and parking mode are build-time configuration and stay.
+// and parking mode are build-time configuration and stay, as does the
+// response cache: regeneration is deterministic, so cached bytes are
+// exactly what a fresh server would serve.
 func (s *Server) Reset() {
-	s.fetches = make(map[string]int)
+	clear(s.fetches)
 	s.Requests = 0
 }
 
@@ -129,47 +161,62 @@ func (s *Server) respond(c *tcpsim.Conn, req *httpwire.Request) {
 		region = s.RegionOf(c.RemoteAddr())
 	}
 	s.Requests++
-	var resp *httpwire.Response
-	switch {
-	case s.parking:
+	if s.parking {
 		// Parking services answer on one (anycast) address but route the
 		// request to region-local infrastructure: content, headers and
 		// title all depend on where the client sits — the GoDaddy-style
 		// false positive of §6.2. Only some listings run different edge
 		// software per region (different header names); the rest differ
 		// in content alone, which OONI's header check clears.
-		resp = httpwire.NewResponse(200, "OK", RenderParkedBody(host, region))
-		profile := ProfileParkIntl
-		if region == RegionIN && hashBool(host, "park-soft", 40) {
-			profile = ProfileParkIN
+		key := respKey{host: host, region: region}
+		wire, ok := s.cachedResponse(key)
+		if !ok {
+			resp := httpwire.NewResponse(200, "OK", RenderParkedBody(host, region))
+			profile := ProfileParkIntl
+			if region == RegionIN && hashBool(host, "park-soft", 40) {
+				profile = ProfileParkIN
+			}
+			profile.apply(resp, region)
+			wire = resp.Marshal()
+			s.storeResponse(key, wire)
 		}
-		profile.apply(resp, region)
+		c.Send(wire)
+		s.finish(c, req)
+		return
+	}
+	site, hosted := s.sites[host]
+	if !hosted {
+		// A server that does not host the requested domain — the
+		// paper's remote-controlled hosts respond exactly like this.
+		resp := httpwire.NewResponse(404, "Not Found", []byte("<html><body>No such site here</body></html>"))
+		s.profile.apply(resp, region)
 		c.Send(resp.Marshal())
 		s.finish(c, req)
 		return
-	default:
-		site, hosted := s.sites[host]
-		if !hosted {
-			// A server that does not host the requested domain — the
-			// paper's remote-controlled hosts respond exactly like this.
-			resp = httpwire.NewResponse(404, "Not Found", []byte("<html><body>No such site here</body></html>"))
-			s.profile.apply(resp, region)
-			c.Send(resp.Marshal())
-			s.finish(c, req)
-			return
-		}
-		s.fetches[host]++
-		resp = httpwire.NewResponse(200, "OK", RenderBody(PageSpec{
+	}
+	s.fetches[host]++
+	// The fetch counter shapes content only for dynamic sites; everything
+	// else caches under fetch 0, one entry per (host, region).
+	key := respKey{host: host, region: region}
+	if site.Kind == KindDynamic {
+		key.fetch = s.fetches[host]
+	}
+	wire, ok := s.cachedResponse(key)
+	if !ok {
+		resp := httpwire.NewResponse(200, "OK", RenderBody(PageSpec{
 			Site: site, Region: region, Fetch: s.fetches[host],
 		}))
+		profile := s.profile
+		if site.RegionalHeaders && region == RegionIN {
+			// Regional edge running different software: different header
+			// names.
+			profile = ProfileCDNEdge
+		}
+		profile.apply(resp, region)
+		wire = resp.Marshal()
+		s.storeResponse(key, wire)
 	}
-	profile := s.profile
-	if site, hosted := s.sites[host]; hosted && site.RegionalHeaders && region == RegionIN {
-		// Regional edge running different software: different header names.
-		profile = ProfileCDNEdge
-	}
-	profile.apply(resp, region)
-	c.Send(resp.Marshal())
+	c.Send(wire)
 	s.finish(c, req)
 }
 
