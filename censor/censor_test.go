@@ -22,6 +22,9 @@ func session(t *testing.T) *Session {
 		}
 		sharedSession = s
 	}
+	// Each test runs on its own goroutine; handing the shared session out
+	// is a serialized ownership transfer of its world.
+	sharedSession.world.Rebind()
 	return sharedSession
 }
 

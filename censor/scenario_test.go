@@ -4,12 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/apisurface"
 )
 
 // presetSession builds a session for a preset by name.
@@ -284,138 +284,16 @@ func TestNoCensorshipControl(t *testing.T) {
 	}
 }
 
-// TestPublicAPINoInternalTypes walks the package's exported API (every
-// exported func, method, struct field and var in the non-test sources)
-// and fails if a signature references a repro/internal/... type. The
+// TestPublicAPINoInternalTypes runs the apisurface analyzer over this
+// package's non-test sources and fails on any finding. The analyzer
+// (internal/analysis/apisurface) replaced the hand-rolled AST walk that
+// used to live here: it works on resolved types rather than selector
+// spelling, so aliased imports and indirect leaks are caught too. The
 // documented oracle escape hatches — Session.World, Vantage.World,
-// Vantage.Probe — are the only allowed exceptions; the option surface in
-// particular must be fully public, so an external caller can build any
-// world from JSON alone.
+// Vantage.Probe — carry //repolint:allow apisurface waivers at their
+// declarations; everything else, the option surface in particular, must
+// be fully public so an external caller can build any world from JSON
+// alone.
 func TestPublicAPINoInternalTypes(t *testing.T) {
-	allowed := map[string]bool{
-		"Session.World": true, "Vantage.World": true, "Vantage.Probe": true,
-	}
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
-	if err != nil {
-		t.Fatalf("ParseDir: %v", err)
-	}
-	pkg, ok := pkgs["censor"]
-	if !ok {
-		t.Fatalf("package censor not found (got %v)", pkgs)
-	}
-	for fileName, file := range pkg.Files {
-		if strings.HasSuffix(fileName, "_test.go") {
-			continue
-		}
-		// Local names of internal imports in this file.
-		internal := map[string]bool{}
-		for _, imp := range file.Imports {
-			path := strings.Trim(imp.Path.Value, `"`)
-			if !strings.Contains(path, "/internal/") {
-				continue
-			}
-			name := path[strings.LastIndex(path, "/")+1:]
-			if imp.Name != nil {
-				name = imp.Name.Name
-			}
-			internal[name] = true
-		}
-		if len(internal) == 0 {
-			continue
-		}
-		leaks := func(n ast.Node) (string, bool) {
-			var found string
-			ast.Inspect(n, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				if id, ok := sel.X.(*ast.Ident); ok && internal[id.Name] {
-					found = id.Name + "." + sel.Sel.Name
-					return false
-				}
-				return true
-			})
-			return found, found != ""
-		}
-		for _, decl := range file.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				if !d.Name.IsExported() {
-					continue
-				}
-				key := d.Name.Name
-				if d.Recv != nil && len(d.Recv.List) > 0 {
-					recv := d.Recv.List[0].Type
-					if star, ok := recv.(*ast.StarExpr); ok {
-						recv = star.X
-					}
-					id, ok := recv.(*ast.Ident)
-					if !ok || !id.IsExported() {
-						continue // method on an unexported type
-					}
-					key = id.Name + "." + d.Name.Name
-				}
-				if allowed[key] {
-					continue
-				}
-				if leak, ok := leaks(d.Type); ok {
-					t.Errorf("%s: exported %s references internal type %s", fileName, key, leak)
-				}
-			case *ast.GenDecl:
-				for _, spec := range d.Specs {
-					switch sp := spec.(type) {
-					case *ast.TypeSpec:
-						if !sp.Name.IsExported() {
-							continue
-						}
-						// Only exported fields leak: walk struct fields and
-						// interface methods that are exported.
-						st, ok := sp.Type.(*ast.StructType)
-						if !ok {
-							if leak, ok := leaks(sp.Type); ok {
-								t.Errorf("%s: exported type %s references internal type %s", fileName, sp.Name.Name, leak)
-							}
-							continue
-						}
-						for _, f := range st.Fields.List {
-							exported := len(f.Names) == 0 // embedded
-							for _, n := range f.Names {
-								exported = exported || n.IsExported()
-							}
-							if !exported {
-								continue
-							}
-							if leak, ok := leaks(f.Type); ok {
-								t.Errorf("%s: exported field %s.%v references internal type %s", fileName, sp.Name.Name, f.Names, leak)
-							}
-						}
-					case *ast.ValueSpec:
-						for i, n := range sp.Names {
-							if !n.IsExported() {
-								continue
-							}
-							if sp.Type != nil {
-								if leak, ok := leaks(sp.Type); ok {
-									t.Errorf("%s: exported %s references internal type %s", fileName, n.Name, leak)
-								}
-								continue
-							}
-							// Consts with inferred types copy untyped values
-							// (string(...) conversions, numeric constants) —
-							// not a type leak. Vars with inferred types take
-							// the initializer's type, so an internal
-							// expression there does leak.
-							if d.Tok == token.VAR && i < len(sp.Values) {
-								if leak, ok := leaks(sp.Values[i]); ok {
-									t.Errorf("%s: exported var %s infers internal type from %s", fileName, n.Name, leak)
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-	}
+	analysistest.RunClean(t, apisurface.Analyzer, ".", "repro/censor")
 }

@@ -1,0 +1,159 @@
+// Command repolint runs the repository's custom analyzer suite — the
+// mechanical form of the contracts the simulator's tests can only spot-check:
+//
+//	simdeterminism  no wall clocks, global math/rand, or map-order
+//	                scheduling/output in the deterministic sim packages
+//	hotpathalloc    no per-call allocation patterns in //repolint:hotpath funcs
+//	timerbyvalue    no *sim.Timer anywhere; the handle is value-only
+//	sinkcontract    no goroutines or package-level mutation in Sink.Write
+//	apisurface      no repro/internal types in censor's and monitor's surface
+//
+// Usage:
+//
+//	go run ./cmd/repolint [flags] [packages]
+//
+// Packages default to ./... relative to the current directory, which must
+// be inside the module. Exit status is 1 when any finding survives the
+// //repolint:allow waivers (stale waivers are findings too), 2 on usage or
+// load errors.
+//
+// The -vet flag additionally runs the curated go vet subset the tree is
+// kept clean under, so CI needs a single lint entry point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/apisurface"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/simdeterminism"
+	"repro/internal/analysis/sinkcontract"
+	"repro/internal/analysis/timerbyvalue"
+)
+
+// suite is every analyzer repolint knows, in output order.
+var suite = []*analysis.Analyzer{
+	simdeterminism.Analyzer,
+	hotpathalloc.Analyzer,
+	timerbyvalue.Analyzer,
+	sinkcontract.Analyzer,
+	apisurface.Analyzer,
+}
+
+// vetChecks is the curated go vet subset run under -vet: the analyses
+// with near-zero false-positive rates on this tree.
+var vetChecks = []string{
+	"-atomic", "-bools", "-buildtag", "-copylocks", "-loopclosure",
+	"-lostcancel", "-nilfunc", "-printf", "-stdmethods", "-unreachable",
+	"-unusedresult",
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	vet := flag.Bool("vet", false, "also run the curated go vet subset")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s (key %q) %s\n", a.Name, a.Key, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := analysis.ExpandPatterns(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "repolint: no packages match", strings.Join(patterns, " "))
+		return 2
+	}
+
+	loader := analysis.NewLoader()
+	findings := 0
+	for _, tgt := range targets {
+		pkg, err := loader.Load(tgt.Dir, tgt.PkgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+		findings += len(diags)
+	}
+
+	if *vet {
+		if code := runVet(patterns); code != 0 {
+			return code
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// runVet shells out to the curated go vet subset over the same patterns.
+func runVet(patterns []string) int {
+	args := append(append([]string{"vet"}, vetChecks...), patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); ok {
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "repolint: go vet:", err)
+		return 2
+	}
+	return 0
+}

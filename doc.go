@@ -35,6 +35,28 @@
 // property the netsim zero-alloc test and the CI benchmark gate pin
 // down. See README.md's Performance section.
 //
+// Four of those design contracts are mechanically enforced by the
+// repolint analyzer suite (internal/analysis, driven by cmd/repolint and
+// run in CI before the tests):
+//
+//   - Determinism: the simulation packages read no wall clock, draw from
+//     no global random source, and never let map iteration order reach
+//     scheduling or output (simdeterminism).
+//   - Zero-alloc hot path: functions marked //repolint:hotpath use
+//     ScheduleCall instead of closures, pooled buffers instead of
+//     make([]byte), and no fmt or string concatenation (hotpathalloc).
+//   - Value-only timers: *sim.Timer never appears; the generation-counted
+//     handle is copied, and Stop on a stale copy is safe (timerbyvalue).
+//   - Serialized sinks: censor.Sink.Write implementations spawn no
+//     goroutines and mutate no package-level state — Stream.Drain is the
+//     serialization point (sinkcontract).
+//   - Clean surface: no repro/internal type appears in the exported API
+//     of censor or monitor, except the three waived oracle hatches
+//     (apisurface).
+//
+// Deliberate exceptions carry //repolint:allow <key> -- <reason> waivers
+// in the source they except; stale waivers are themselves findings.
+//
 // The monitor package is the service layer over all of that: a
 // Scheduler for recurring campaigns, a bounded concurrency-safe result
 // Store (ring buffers plus write-time per-run tallies, monotonic run

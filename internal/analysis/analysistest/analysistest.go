@@ -1,0 +1,119 @@
+// Package analysistest runs a repolint analyzer over a fixture package
+// and checks its findings against // want expectations, mirroring the
+// x/tools analysistest contract on the repo's own framework.
+//
+// Fixtures live under the analyzer package in testdata/src/<name>/ —
+// ordinary Go packages the go tool ignores but the framework's source
+// loader can still type-check, including imports of real repro packages.
+// A line expecting a finding carries a trailing comment with one quoted
+// regexp per expected diagnostic:
+//
+//	eng.Schedule(d, func() { ... }) // want `closure`
+//
+// Lines without a want comment must produce no finding, so each fixture
+// proves both halves of a contract: the violation is caught and the
+// allowed form (or an explicit //repolint:allow waiver) stays silent.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE matches the quoted patterns of a want comment, accepting both
+// backquoted and double-quoted forms.
+var wantRE = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> relative to the caller's package
+// directory, runs the analyzer (with directive suppression, exactly as
+// cmd/repolint would), and fails t on any mismatch between findings and
+// // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	loader := analysis.NewLoader()
+	pkg, err := loader.Load(dir, fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, q := range wantRE.FindAllString(rest, -1) {
+					re, err := regexp.Compile(q[1 : len(q)-1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", filename, line, q, err)
+					}
+					wants = append(wants, &expectation{file: filename, line: line, pattern: re})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		if !match(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// match marks and reports the first unmatched expectation covering d.
+func match(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// RunClean loads a real package by directory and import path and fails t
+// if the analyzer reports anything after suppression — the thin bridge
+// public packages use to pin their own surface in `go test`.
+func RunClean(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	pkg, err := loader.Load(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		t.Error(fmt.Sprint(d))
+	}
+}

@@ -1,0 +1,12 @@
+package apisurface_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/apisurface"
+)
+
+func TestAPISurface(t *testing.T) {
+	analysistest.Run(t, apisurface.Analyzer, "apileak")
+}

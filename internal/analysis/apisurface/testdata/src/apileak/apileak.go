@@ -1,0 +1,62 @@
+// Package apileak is the apisurface fixture: a package opted into the
+// public-surface contract that leaks repro/internal types every way the
+// analyzer must catch, next to clean declarations and a waived hatch.
+//
+//repolint:public
+package apileak
+
+import (
+	"repro/internal/netpkt"
+	"repro/internal/sim"
+)
+
+// NewLeaky returns an internal engine to any importer.
+func NewLeaky() *sim.Engine { // want `exported func NewLeaky references internal type repro/internal/sim\.Engine`
+	return nil
+}
+
+// DefaultPool is an exported var of an internal type.
+var DefaultPool *netpkt.BufPool // want `exported var DefaultPool references internal type repro/internal/netpkt\.BufPool`
+
+// LeakySession exposes the engine through an exported field.
+type LeakySession struct {
+	Eng  *sim.Engine // want `exported field LeakySession\.Eng references internal type repro/internal/sim\.Engine`
+	name string
+}
+
+// Prober leaks through an interface method signature.
+type Prober interface {
+	Attach(e *sim.Engine) // want `exported method Prober\.Attach references internal type repro/internal/sim\.Engine`
+}
+
+// Defended is declared directly from an internal type.
+type Defended sim.Engine // want `exported type Defended is declared from internal type repro/internal/sim\.Engine`
+
+// Session keeps the engine private and leaks it only through an exported
+// method.
+type Session struct {
+	eng *sim.Engine
+}
+
+// Engine hands the private engine out.
+func (s *Session) Engine() *sim.Engine { // want `exported method Session\.Engine references internal type repro/internal/sim\.Engine`
+	return s.eng
+}
+
+// Run is a clean exported method: builtin types only.
+func (s *Session) Run(steps int) error { return nil }
+
+// Clean is a fully public-shaped type.
+type Clean struct {
+	Name    string
+	Blocked bool
+}
+
+// newEngine is unexported; internal types are fine below the surface.
+func newEngine() *sim.Engine { return nil }
+
+// Escape mirrors the documented oracle hatches (Session.World,
+// Vantage.Probe): the waiver carries its reason at the declaration.
+//
+//repolint:allow apisurface -- fixture hatch mirroring the censor oracle accessors
+func Escape() *sim.Engine { return nil }

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive vocabulary. Directives are machine-readable comments of the
+// form //repolint:<verb> and carry the contracts analyzers enforce:
+//
+//	//repolint:allow <key> -- <reason>
+//	    Waives findings with that key on the same line or the line
+//	    directly below (so the directive can sit above a declaration or
+//	    trail the offending expression). The reason is mandatory; an
+//	    allow without one is itself a finding.
+//
+//	//repolint:hotpath
+//	    In a function's doc comment: marks the function as part of the
+//	    steady-state packet path, opting it into hotpathalloc.
+//
+//	//repolint:deterministic
+//	    Anywhere in a file: marks the whole package as deterministic,
+//	    opting it into simdeterminism. The repo's simulation packages
+//	    are built in; the marker exists for fixtures and new packages.
+//
+//	//repolint:public
+//	    Anywhere in a file: marks the package as public API surface,
+//	    opting it into apisurface.
+const directivePrefix = "//repolint:"
+
+// Allow is one parsed //repolint:allow directive.
+type Allow struct {
+	Key    string
+	Reason string
+	Pos    token.Position
+	used   bool
+}
+
+// Directives is the parsed directive set of one package.
+type Directives struct {
+	// allows indexes allow directives by file name and line.
+	allows map[string]map[int][]*Allow
+	// marks holds package-opt-in markers ("deterministic", "public").
+	marks map[string]bool
+	// malformed collects directives the parser rejected, reported by the
+	// runner as unsuppressable findings.
+	malformed []Diagnostic
+}
+
+// Marked reports whether any file in the package carries the given marker
+// directive.
+func (d *Directives) Marked(name string) bool { return d.marks[name] }
+
+// HotpathFunc reports whether fn's doc comment carries //repolint:hotpath.
+func HotpathFunc(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == directivePrefix+"hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives scans every comment in the package's files. knownKeys
+// maps valid allow keys (from the analyzer set) so typos are caught.
+func parseDirectives(fset *token.FileSet, files []*ast.File, knownKeys map[string]bool) *Directives {
+	d := &Directives{
+		allows: map[string]map[int][]*Allow{},
+		marks:  map[string]bool{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, directivePrefix)
+				verb, arg, _ := strings.Cut(rest, " ")
+				switch verb {
+				case "hotpath", "deterministic", "public":
+					if strings.TrimSpace(arg) != "" {
+						d.malformed = append(d.malformed, Diagnostic{
+							Analyzer: "repolint", Pos: pos,
+							Message: "repolint:" + verb + " takes no arguments",
+						})
+						continue
+					}
+					d.marks[verb] = true
+				case "allow":
+					key, reason, ok := strings.Cut(strings.TrimSpace(arg), "--")
+					key = strings.TrimSpace(key)
+					reason = strings.TrimSpace(reason)
+					switch {
+					case key == "":
+						d.malformed = append(d.malformed, Diagnostic{
+							Analyzer: "repolint", Pos: pos,
+							Message: "repolint:allow needs a key: //repolint:allow <key> -- <reason>",
+						})
+					case !knownKeys[key]:
+						d.malformed = append(d.malformed, Diagnostic{
+							Analyzer: "repolint", Pos: pos,
+							Message: "repolint:allow names unknown key " + key + " (known: " + joinKeys(knownKeys) + ")",
+						})
+					case !ok || reason == "":
+						d.malformed = append(d.malformed, Diagnostic{
+							Analyzer: "repolint", Pos: pos,
+							Message: "repolint:allow " + key + " is missing its reason: //repolint:allow " + key + " -- <reason>",
+						})
+					default:
+						byLine := d.allows[pos.Filename]
+						if byLine == nil {
+							byLine = map[int][]*Allow{}
+							d.allows[pos.Filename] = byLine
+						}
+						byLine[pos.Line] = append(byLine[pos.Line], &Allow{Key: key, Reason: reason, Pos: pos})
+					}
+				default:
+					d.malformed = append(d.malformed, Diagnostic{
+						Analyzer: "repolint", Pos: pos,
+						Message: "unknown repolint directive //repolint:" + verb,
+					})
+				}
+			}
+		}
+	}
+	return d
+}
+
+// suppressed reports whether an allow directive waives diag: one with the
+// matching key on the diagnostic's line or the line directly above. The
+// matching directive is marked used so stale waivers can be reported.
+func (d *Directives) suppressed(diag Diagnostic) bool {
+	byLine := d.allows[diag.Pos.Filename]
+	if byLine == nil || diag.Key == "" {
+		return false
+	}
+	for _, line := range [2]int{diag.Pos.Line, diag.Pos.Line - 1} {
+		for _, a := range byLine[line] {
+			if a.Key == diag.Key {
+				a.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unused returns diagnostics for allow directives that waived nothing
+// among the analyzers whose keys are in ranKeys — a stale waiver is a
+// contract comment that no longer matches the code.
+func (d *Directives) unused(ranKeys map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, byLine := range d.allows {
+		for _, allows := range byLine {
+			for _, a := range allows {
+				if !a.used && ranKeys[a.Key] {
+					out = append(out, Diagnostic{
+						Analyzer: "repolint", Pos: a.Pos,
+						Message: "unused //repolint:allow " + a.Key + " directive (nothing to waive here)",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func joinKeys(keys map[string]bool) string {
+	out := make([]string, 0, len(keys))
+	for k := range keys {
+		out = append(out, k)
+	}
+	// Deterministic order for error messages.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return strings.Join(out, ", ")
+}

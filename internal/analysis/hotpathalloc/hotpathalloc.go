@@ -1,0 +1,112 @@
+// Package hotpathalloc enforces the zero-alloc contract on functions
+// annotated //repolint:hotpath — the steady-state packet forward and
+// delivery path PR 5 rewrote around the event arena and buffer pool.
+//
+// The CI benchmark gate (BenchmarkPacketForward must report 0 allocs/op)
+// catches a regression after the fact; this analyzer names the offending
+// line at lint time. Inside a hotpath function it flags the four
+// allocation patterns the rewrite eliminated:
+//
+//   - Schedule with a func literal: every call allocates the closure.
+//     Use ScheduleCall with a long-lived dispatcher and inline args.
+//   - fmt formatting: Sprintf/Errorf/Fprintf allocate unconditionally.
+//   - string concatenation: non-constant + on strings allocates.
+//   - make([]byte, ...): transient wire buffers must come from the
+//     per-network netpkt.BufPool (waive the pool's own refill sites
+//     with //repolint:allow alloc).
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Key:  "alloc",
+	Doc: "forbid per-call allocation patterns (Schedule closures, fmt, string " +
+		"concatenation, non-pooled []byte) in functions marked //repolint:hotpath",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HotpathFunc(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n) && !isConstant(pass, n) {
+				pass.Reportf(n.OpPos, "string concatenation allocates on the hot path; pre-render or use pooled append")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass, n.Lhs[0]) {
+				pass.Reportf(n.TokPos, "string concatenation allocates on the hot path; pre-render or use pooled append")
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Schedule" {
+		for _, arg := range call.Args {
+			if _, isLit := arg.(*ast.FuncLit); isLit {
+				pass.Reportf(call.Pos(), "Schedule with a func literal allocates a closure per call; use ScheduleCall with a long-lived dispatcher")
+				break
+			}
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates on the hot path; pre-render the bytes or append manually", obj.Name())
+		}
+	case *ast.Ident:
+		if fun.Name != "make" {
+			return
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin || len(call.Args) == 0 {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || !tv.IsType() {
+			return
+		}
+		if sl, ok := tv.Type.Underlying().(*types.Slice); ok {
+			if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+				pass.Reportf(call.Pos(), "make([]byte) on the hot path; draw transient wire buffers from netpkt.BufPool")
+			}
+		}
+	}
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,69 @@
+// Package hotpath is the hotpathalloc fixture. forwardClosure reproduces
+// the exact per-hop closure-capture pattern the PR 5 hot-path rewrite
+// eliminated (Schedule with a func literal capturing the packet), so a
+// regression to it is caught at lint time rather than by the alloc
+// benchmark gate.
+package hotpath
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netpkt"
+	"repro/internal/sim"
+)
+
+type host struct{ name string }
+
+func deliver(a, b any) {}
+
+// deliverFn is the long-lived dispatcher ScheduleCall routes through.
+var deliverFn = deliver
+
+// forwardClosure is the pre-PR-5 shape: every forwarded packet allocates
+// a closure capturing h and pkt.
+//
+//repolint:hotpath
+func forwardClosure(eng *sim.Engine, h *host, pkt *netpkt.Packet) {
+	eng.Schedule(time.Millisecond, func() { // want `func literal allocates a closure`
+		deliver(h, pkt)
+	})
+}
+
+// forwardDispatch is the rewritten shape: inline args, no closure.
+//
+//repolint:hotpath
+func forwardDispatch(eng *sim.Engine, h *host, pkt *netpkt.Packet) {
+	eng.ScheduleCall(time.Millisecond, deliverFn, h, pkt)
+}
+
+// formatOnHotPath hits the remaining three banned patterns.
+//
+//repolint:hotpath
+func formatOnHotPath(h *host, n int) []byte {
+	msg := fmt.Sprintf("host %s", h.name) // want `fmt.Sprintf allocates`
+	msg = msg + h.name                    // want `string concatenation`
+	msg += "!"                            // want `string concatenation`
+	buf := make([]byte, n)                // want `make\(\[\]byte\) on the hot path`
+	return append(buf, msg...)
+}
+
+// pooledBuffer draws from the pool; the pool's own refill is the one
+// sanctioned make([]byte), waived with a reasoned allow.
+//
+//repolint:hotpath
+func pooledBuffer(pool *netpkt.BufPool, n int) []byte {
+	buf := pool.Get(n)
+	if cap(buf) < n {
+		//repolint:allow alloc -- fallback when the request exceeds the poolable maximum
+		buf = make([]byte, 0, n)
+	}
+	return buf
+}
+
+// unmarked is not on the hot path: the same patterns are fine here.
+func unmarked(eng *sim.Engine, h *host) string {
+	eng.Schedule(time.Millisecond, func() { deliver(h, nil) })
+	b := make([]byte, 8)
+	return fmt.Sprintf("%s %d", h.name, len(b)) + "?"
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks packages from source. Dependencies are
+// resolved through the stdlib source importer, which in module mode
+// follows the go command's view of the world — so the loader works on any
+// package inside this module (including testdata fixture trees the go
+// tool itself ignores) without external analysis libraries. The importer
+// caches by path, so loading many packages shares their dependency work.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader builds a loader with a fresh file set and importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses dir's non-test Go files (respecting build constraints) and
+// type-checks them as package path pkgPath.
+func (l *Loader) Load(dir, pkgPath string) (*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	names := append(append([]string(nil), bp.GoFiles...), bp.CgoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := types.Config{Importer: l.imp}
+	pkg, err := cfg.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Target is one directory/import-path pair produced by pattern expansion.
+type Target struct {
+	Dir     string
+	PkgPath string
+}
+
+// ExpandPatterns resolves go-style package patterns ("./...", ".",
+// "./censor") against the module rooted at or above dir, returning the
+// buildable package directories in deterministic order. testdata trees,
+// hidden directories and nested modules are skipped, matching the go
+// tool's walk.
+func ExpandPatterns(dir string, patterns []string) ([]Target, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []Target
+	add := func(abs string) error {
+		if seen[abs] {
+			return nil
+		}
+		bp, err := build.Default.ImportDir(abs, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			return fmt.Errorf("analysis: %s: %w", abs, err)
+		}
+		if len(bp.GoFiles)+len(bp.CgoFiles) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil {
+			return err
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		seen[abs] = true
+		out = append(out, Target{Dir: abs, PkgPath: pkgPath})
+		return nil
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		abs := pat
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(dir, pat)
+		}
+		if abs, err = filepath.Abs(abs); err != nil {
+			return nil, err
+		}
+		if !recursive {
+			if err := add(abs); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			// A nested go.mod starts a different module; stay out of it.
+			if path != root && path != abs {
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir
+				}
+			}
+			return add(path)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import "sort"
+
+// Run executes the analyzers over one loaded package: parse directives,
+// collect findings, apply //repolint:allow suppression, and report both
+// malformed directives and stale waivers as findings of their own. The
+// returned diagnostics are position-sorted.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	keys := map[string]bool{}
+	for _, a := range analyzers {
+		keys[a.Key] = true
+	}
+	dirs := parseDirectives(pkg.Fset, pkg.Files, keys)
+
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			Dirs:      dirs,
+			report:    func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]Diagnostic, 0, len(raw))
+	for _, d := range raw {
+		if !dirs.suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, dirs.malformed...)
+	out = append(out, dirs.unused(keys)...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}

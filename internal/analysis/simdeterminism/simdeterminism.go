@@ -1,0 +1,221 @@
+// Package simdeterminism enforces the byte-identical-rerun contract of
+// the simulation packages: no wall clocks, no global random source, and
+// no map iteration order feeding scheduling or output.
+//
+// The deterministic world — engine, packet network, TCP/DNS/web
+// simulators, middleboxes, world builder and probe — must produce the
+// same measurement bytes for the same seed on every run; that is what
+// the parallel-vs-sequential campaign tests pin and what the paper's
+// methodology (repeated scans diffed across time) presumes. The three
+// banned patterns are exactly the ways Go code silently breaks that:
+// time.Now and friends read the machine's clock instead of the engine's
+// virtual one, package-level math/rand draws from a process-global
+// source seeded who-knows-when, and ranging over a map schedules or
+// emits in an order Go deliberately randomizes per run.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the simdeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Key:  "determinism",
+	Doc: "forbid wall clocks, global math/rand and map-order scheduling/output " +
+		"in the deterministic simulation packages",
+	Run: run,
+}
+
+// deterministicPkgs is the built-in opt-in set: everything that runs
+// inside a sim.Engine callback or builds the world it runs in. Other
+// packages opt in with a //repolint:deterministic file directive.
+var deterministicPkgs = map[string]bool{
+	"repro/internal/sim":       true,
+	"repro/internal/netsim":    true,
+	"repro/internal/tcpsim":    true,
+	"repro/internal/dnssim":    true,
+	"repro/internal/websim":    true,
+	"repro/internal/middlebox": true,
+	"repro/internal/ispnet":    true,
+	"repro/internal/probe":     true,
+}
+
+// wallClockFuncs are the time package functions that read or wait on the
+// machine clock. Duration arithmetic and formatting stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// seededConstructors are the math/rand package-level functions that build
+// explicitly seeded sources — the only sanctioned way to randomness.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// scheduleNames are method names that hand work to the engine or network;
+// calling one inside a map range makes event order follow map order.
+var scheduleNames = map[string]bool{
+	"Schedule": true, "ScheduleCall": true, "Send": true, "SendAfter": true,
+	"SendFromHost": true, "InjectAt": true,
+}
+
+// sortNames are the sort/slices calls that make collect-then-sort legal.
+var sortNames = map[string]bool{
+	"Sort": true, "Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "SortFunc": true,
+	"SortStableFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !deterministicPkgs[pass.Pkg.Path()] && !pass.Dirs.Marked("deterministic") {
+		return nil
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods are fine: rand.Rand values are seeded per engine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				pass.Reportf(id.Pos(), "time.%s reads the wall clock; deterministic packages must use the engine's virtual clock (sim.Engine.Now)", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededConstructors[fn.Name()] {
+				pass.Reportf(id.Pos(), "%s.%s draws from the global random source; use the engine's seeded source (sim.Engine.Rand)", fn.Pkg().Name(), fn.Name())
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkMapRanges flags range-over-map loops in fd whose bodies schedule
+// events or build ordered output, unless the output is sorted afterwards
+// in the same function (the collect-then-sort idiom).
+func checkMapRanges(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if scheduleNames[sel.Sel.Name] {
+						pass.Reportf(n.Pos(), "%s inside a map range schedules events in map iteration order; iterate a sorted copy of the keys", sel.Sel.Name)
+						return true
+					}
+					if isOutputCall(pass, sel) {
+						pass.Reportf(n.Pos(), "writing output inside a map range emits in map iteration order; iterate a sorted copy of the keys")
+						return true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+						continue
+					}
+					target := types.ExprString(n.Lhs[i])
+					if !sortedLater(pass, fd, target) {
+						pass.Reportf(n.Pos(), "appending to %s inside a map range builds output in map iteration order; sort it before use or iterate sorted keys", target)
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// isOutputCall reports whether sel is a fmt print call or an io-style
+// Write/WriteString/WriteByte method — order-sensitive output.
+func isOutputCall(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		// Only method calls count: sel.X is a value, not a package name.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+				return false
+			}
+		}
+		return true
+	}
+	if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		return true
+	}
+	return false
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedLater reports whether fd contains a sort/slices call whose first
+// argument is (or contains) target — the collect-then-sort idiom that
+// makes appending in map order harmless.
+func sortedLater(pass *analysis.Pass, fd *ast.FuncDecl, target string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortNames[sel.Sel.Name] {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, isPkg := pass.TypesInfo.Uses[pkg].(*types.PkgName); !isPkg ||
+			(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,82 @@
+// Package simdet is the simdeterminism fixture: a package opted into the
+// deterministic contract via the file directive, with one violation and
+// one allowed form of each banned pattern.
+//
+//repolint:deterministic
+package simdet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type engine struct{}
+
+func (engine) Schedule(d time.Duration, fn func()) {}
+func (engine) Now() time.Duration                  { return 0 }
+
+// wallClock reads the machine clock — the canonical rerun-breaker.
+func wallClock() time.Duration {
+	t := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(t) // want `time.Since reads the wall clock`
+}
+
+// virtualClock uses the engine's clock and duration arithmetic: allowed.
+func virtualClock(e engine) time.Duration {
+	return e.Now() + 5*time.Millisecond
+}
+
+// globalRand draws from the process-global source.
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn draws from the global random source`
+}
+
+// seededRand builds and uses an explicitly seeded source: allowed.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// waivedClock shows the escape hatch: the waiver names its reason.
+func waivedClock() time.Time {
+	//repolint:allow determinism -- build-time stamp only, never scheduled on
+	return time.Now()
+}
+
+// scheduleInMapOrder schedules an event per map entry: event order
+// follows Go's randomized map iteration.
+func scheduleInMapOrder(e engine, m map[string]time.Duration) {
+	for _, d := range m {
+		e.Schedule(d, nil) // want `Schedule inside a map range`
+	}
+}
+
+// scheduleSorted iterates a sorted key copy: allowed.
+func scheduleSorted(e engine, m map[string]time.Duration) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.Schedule(m[k], nil)
+	}
+}
+
+// collectUnsorted builds output in map order and never sorts it.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration order`
+	}
+	return out
+}
+
+// printInMapOrder writes output from inside the range.
+func printInMapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration order`
+	}
+}

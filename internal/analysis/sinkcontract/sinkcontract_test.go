@@ -1,0 +1,12 @@
+package sinkcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sinkcontract"
+)
+
+func TestSinkContract(t *testing.T) {
+	analysistest.Run(t, sinkcontract.Analyzer, "sinkgo")
+}

@@ -1,0 +1,54 @@
+// Package timerptr is the timerbyvalue fixture: every way of turning the
+// value-only sim.Timer handle into a pointer, next to the allowed
+// value-copy idioms.
+package timerptr
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// pinned stores the handle behind a pointer, pinning one event's handle
+// across engine resets.
+type pinned struct {
+	t *sim.Timer // want `\*sim.Timer in a type`
+}
+
+// stopLater takes the handle by pointer for no reason.
+func stopLater(t *sim.Timer) { // want `\*sim.Timer in a type`
+	t.Stop()
+}
+
+// escape takes the address of a live handle.
+func escape(eng *sim.Engine) *sim.Timer { // want `\*sim.Timer in a type`
+	tm := eng.Schedule(time.Millisecond, noop)
+	return &tm // want `taking the address of a sim.Timer`
+}
+
+// fresh builds a pointer handle from the builtin.
+func fresh() {
+	t := new(sim.Timer) // want `new\(sim.Timer\) makes a pointer handle`
+	t.Stop()
+}
+
+// byValue is the intended shape: copy freely, Stop on stale copies is safe.
+func byValue(eng *sim.Engine) bool {
+	tm := eng.Schedule(time.Millisecond, noop)
+	cp := tm
+	return cp.Stop()
+}
+
+// held stores the handle by value: allowed.
+type held struct {
+	t sim.Timer
+}
+
+// waived shows the escape hatch with its mandatory reason.
+func waived(t sim.Timer) {
+	//repolint:allow timer -- exercising the waiver path in the fixture
+	p := &t
+	_ = p
+}
+
+func noop() {}

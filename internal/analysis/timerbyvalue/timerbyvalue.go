@@ -1,0 +1,69 @@
+// Package timerbyvalue enforces sim.Timer's value-only design: the
+// handle is a generation-counted (engine, slot, gen) triple, and Stop on
+// a stale copy is already safe — so taking its address, storing *Timer
+// fields, or passing *Timer parameters buys nothing and reintroduces
+// exactly the per-event pointer pinning the arena rewrite removed.
+// Timers are copied freely; a pointer would let one event's handle alias
+// another's slot across a Reset.
+package timerbyvalue
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the timerbyvalue pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "timerbyvalue",
+	Key:  "timer",
+	Doc:  "forbid *sim.Timer: the generation-counted handle is value-only by design",
+	Run:  run,
+}
+
+const simPkgPath = "repro/internal/sim"
+
+func isSimTimer(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Timer" && obj.Pkg() != nil && obj.Pkg().Path() == simPkgPath
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND && isSimTimer(pass.TypesInfo.TypeOf(n.X)) {
+					pass.Reportf(n.Pos(), "taking the address of a sim.Timer; the handle is value-only (copy it, Stop on stale copies is safe)")
+				}
+			case *ast.StarExpr:
+				tv, ok := pass.TypesInfo.Types[n]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				if ptr, ok := tv.Type.(*types.Pointer); ok && isSimTimer(ptr.Elem()) {
+					pass.Reportf(n.Pos(), "*sim.Timer in a type; the handle is value-only (store and pass sim.Timer by value)")
+				}
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || id.Name != "new" || len(n.Args) != 1 {
+					return true
+				}
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok && tv.IsType() && isSimTimer(tv.Type) {
+					pass.Reportf(n.Pos(), "new(sim.Timer) makes a pointer handle; the zero Timer value is already valid")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

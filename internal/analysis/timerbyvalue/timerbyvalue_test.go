@@ -1,0 +1,12 @@
+package timerbyvalue_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/timerbyvalue"
+)
+
+func TestTimerByValue(t *testing.T) {
+	analysistest.Run(t, timerbyvalue.Analyzer, "timerptr")
+}

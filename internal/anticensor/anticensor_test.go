@@ -20,6 +20,9 @@ func world(t testing.TB) *ispnet.World {
 	if sharedWorld == nil {
 		sharedWorld = ispnet.NewWorld(ispnet.SmallConfig())
 	}
+	// Each test runs on its own goroutine; handing the shared world out is
+	// a serialized ownership transfer.
+	sharedWorld.Rebind()
 	return sharedWorld
 }
 

@@ -12,6 +12,7 @@ package dnssim
 
 import (
 	"net/netip"
+	"sort"
 	"time"
 
 	"repro/internal/dnswire"
@@ -92,12 +93,14 @@ func (r *Resolver) PoisonsDomain(domain string) bool {
 	return ok
 }
 
-// PoisonList returns the censored domains this resolver manipulates.
+// PoisonList returns the censored domains this resolver manipulates,
+// sorted so the same configuration always lists the same way.
 func (r *Resolver) PoisonList() []string {
 	out := make([]string, 0, len(r.poison))
 	for d := range r.poison {
 		out = append(out, d)
 	}
+	sort.Strings(out)
 	return out
 }
 

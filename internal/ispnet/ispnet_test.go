@@ -19,6 +19,9 @@ func world(t *testing.T) *World {
 	if sharedWorld == nil {
 		sharedWorld = NewWorld(SmallConfig())
 	}
+	// Each test runs on its own goroutine; handing the shared world out is
+	// a serialized ownership transfer.
+	sharedWorld.Rebind()
 	return sharedWorld
 }
 

@@ -166,6 +166,14 @@ type World struct {
 // onReset registers a component rewind to run during Reset.
 func (w *World) onReset(fn func()) { w.resetters = append(w.resetters, fn) }
 
+// Rebind marks a serialized ownership hand-off: the caller asserts that
+// all previous use of the world happened-before this call (it holds the
+// mutex, or took the world from a parked pool) and that whichever
+// goroutine touches the world next owns it. It releases the buffer pool's
+// goroutine guard in race/repolint_debug builds and costs nothing
+// otherwise. Reset implies it.
+func (w *World) Rebind() { w.Net.RebindPool() }
+
 // Reset restores the world to its just-built state: the engine clock,
 // event queue and random source rewind to the seed, every TCP stack drops
 // its connections, web servers forget their fetch counters, middleboxes

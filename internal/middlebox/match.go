@@ -25,6 +25,7 @@ package middlebox
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 )
 
@@ -118,11 +119,13 @@ func NewBlocklist(domains []string) Blocklist {
 // Contains reports membership.
 func (b Blocklist) Contains(domain string) bool { return b[domain] }
 
-// Domains returns the list's members (order unspecified).
+// Domains returns the list's members, sorted so the same blocklist
+// always lists the same way.
 func (b Blocklist) Domains() []string {
 	out := make([]string, 0, len(b))
 	for d := range b {
 		out = append(out, d)
 	}
+	sort.Strings(out)
 	return out
 }

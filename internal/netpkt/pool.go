@@ -20,7 +20,17 @@ type BufPool struct {
 	classes [11][][]byte // 1<<6 .. 1<<16
 	// Gets, Hits count traffic for instrumentation.
 	Gets, Hits uint64
+	// guard enforces the single-goroutine contract in race and
+	// repolint_debug builds; it compiles to nothing otherwise.
+	guard poolGuard
 }
+
+// Rebind releases the pool's goroutine binding (race and repolint_debug
+// builds only; a no-op otherwise). The engine's world Reset calls it at
+// the hand-off point where a parked world may legitimately move to
+// another campaign worker; the next Get or Put re-pins the pool to the
+// goroutine that makes it.
+func (p *BufPool) Rebind() { p.guard.rebind() }
 
 const (
 	poolMinShift = 6  // 64 B
@@ -41,10 +51,14 @@ func classFor(n int) int {
 
 // Get returns a zero-length buffer with capacity at least n, recycled when
 // possible.
+//
+//repolint:hotpath
 func (p *BufPool) Get(n int) []byte {
+	p.guard.check()
 	p.Gets++
 	c := classFor(n)
 	if c < 0 {
+		//repolint:allow alloc -- over-maximum requests bypass the pool by design
 		return make([]byte, 0, n)
 	}
 	if free := p.classes[c]; len(free) > 0 {
@@ -54,12 +68,16 @@ func (p *BufPool) Get(n int) []byte {
 		p.Hits++
 		return b[:0]
 	}
+	//repolint:allow alloc -- the pool refill is the designated allocation point
 	return make([]byte, 0, 1<<(c+poolMinShift))
 }
 
 // Put releases a buffer back to the pool. Buffers smaller than the
 // smallest class or larger than the largest are dropped for the collector.
+//
+//repolint:hotpath
 func (p *BufPool) Put(b []byte) {
+	p.guard.check()
 	c := classFor(cap(b))
 	if c < 0 || cap(b) < 1<<poolMinShift {
 		return

@@ -1,0 +1,61 @@
+//go:build race || repolint_debug
+
+package netpkt
+
+import "runtime"
+
+// poolGuardActive reports whether the guard is compiled in (tests use it
+// to skip or demand the panic path).
+const poolGuardActive = true
+
+// poolGuard pins a BufPool to one goroutine: the first Get or Put after a
+// rebind binds the pool, and any touch from a different goroutine panics
+// with the contract instead of corrupting the lock-free free lists. The
+// engine-world ownership hand-off (campaign workers parking and adopting
+// replica worlds) goes through BufPool.Rebind, which is the only legal way
+// for the owner to change.
+//
+// The scratch array lives inside the guard (and therefore inside the
+// already-heap-allocated pool), so reading the goroutine id allocates
+// nothing — the zero-alloc steady-state tests run under -race and must
+// stay at 0 allocs/op with the guard compiled in.
+type poolGuard struct {
+	owner   int64
+	scratch [64]byte
+}
+
+func (g *poolGuard) check() {
+	id := g.goid()
+	if g.owner == 0 {
+		g.owner = id
+		return
+	}
+	if g.owner != id {
+		panic("netpkt: BufPool touched from a second goroutine without Rebind; worlds are single-threaded (see BufPool doc)")
+	}
+}
+
+func (g *poolGuard) rebind() { g.owner = 0 }
+
+// goid parses the current goroutine id out of the "goroutine N [...]:"
+// header runtime.Stack writes, without allocating.
+func (g *poolGuard) goid() int64 {
+	n := runtime.Stack(g.scratch[:], false)
+	b := g.scratch[:n]
+	const prefix = "goroutine "
+	if len(b) < len(prefix) {
+		return -1
+	}
+	b = b[len(prefix):]
+	var id int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	if id == 0 {
+		return -1
+	}
+	return id
+}

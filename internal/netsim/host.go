@@ -103,11 +103,15 @@ func (h *Host) Engine() *sim.Engine { return h.net.eng }
 
 // Send transmits a packet from this host. The caller sets pkt.IP.Src
 // (normally the host's own address; raw probes may spoof).
+//
+//repolint:hotpath
 func (h *Host) Send(pkt *netpkt.Packet) { h.net.SendFromHost(h, pkt) }
 
 // SendAfter transmits a packet from this host after d of virtual time,
 // without building a per-call closure (the processing-latency pattern of
 // resolvers and middleboxes).
+//
+//repolint:hotpath
 func (h *Host) SendAfter(d time.Duration, pkt *netpkt.Packet) {
 	h.net.eng.ScheduleCall(d, h.net.sendFn, h, pkt)
 }
@@ -179,6 +183,7 @@ func (h *Host) StopCapture() []Captured {
 // Captures returns the capture so far without stopping.
 func (h *Host) Captures() []Captured { return h.captures }
 
+//repolint:hotpath
 func (h *Host) capture(dir Direction, pkt *netpkt.Packet) {
 	if !h.capturing {
 		return
@@ -195,6 +200,8 @@ func (h *Host) capture(dir Direction, pkt *netpkt.Packet) {
 
 // deliver dispatches an arriving packet: filter, capture, then protocol
 // handler.
+//
+//repolint:hotpath
 func (h *Host) deliver(pkt *netpkt.Packet) {
 	if h.filter != nil {
 		// Eager pooled marshal: the buffer is sized to the wire image so

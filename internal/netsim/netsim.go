@@ -230,10 +230,18 @@ func (n *Network) MarkBaseline() {
 // build-time state and stay untouched.
 func (n *Network) ResetRuntime() {
 	n.Drops = 0
+	// Reset is an ownership hand-off point: a parked replica world may be
+	// adopted by a different campaign worker.
+	n.RebindPool()
 	for _, h := range n.hosts {
 		h.RestoreBaseline()
 	}
 }
+
+// RebindPool releases the buffer pool's goroutine binding at a serialized
+// ownership hand-off (race/repolint_debug builds; a no-op otherwise). The
+// caller asserts all prior use of the network happened-before this call.
+func (n *Network) RebindPool() { n.pool.Rebind() }
 
 // Build computes routing tables. It must be called after topology changes
 // and before traffic is sent. Paths are canonical per unordered router
@@ -392,6 +400,8 @@ func (n *Network) linkLatency(a, b int) time.Duration {
 }
 
 // SendFromHost injects a packet originating at host h.
+//
+//repolint:hotpath
 func (n *Network) SendFromHost(h *Host, pkt *netpkt.Packet) {
 	if !n.built {
 		panic("netsim: Build not called")
@@ -403,6 +413,8 @@ func (n *Network) SendFromHost(h *Host, pkt *netpkt.Packet) {
 // InjectAt routes a packet into the network as if generated at router r
 // (used by middleboxes for forged responses). The packet is not inspected
 // by r's own taps or inline elements and r does not decrement its TTL.
+//
+//repolint:hotpath
 func (n *Network) InjectAt(r *Router, pkt *netpkt.Packet) {
 	if !n.built {
 		panic("netsim: Build not called")
@@ -416,6 +428,8 @@ func (n *Network) InjectAt(r *Router, pkt *netpkt.Packet) {
 // a matching packet even when its TTL would expire at that hop, which is
 // why the paper's iterative tracer sees censorship notifications instead of
 // ICMP once the probe TTL reaches the middlebox hop.
+//
+//repolint:hotpath
 func (n *Network) arriveAtRouter(r *Router, pkt *netpkt.Packet) {
 	for _, t := range r.taps {
 		t.Observe(pkt, r)
@@ -440,6 +454,8 @@ func (n *Network) arriveAtRouter(r *Router, pkt *netpkt.Packet) {
 // packet, quoting its wire image through the pooled scratch path. TCP
 // quotes never serialize the payload (AppendQuote); other transports
 // need the full image, so the buffer is sized for it up front.
+//
+//repolint:hotpath
 func (n *Network) timeExceeded(r *Router, expired *netpkt.Packet) *netpkt.Packet {
 	need := 64
 	if expired.TCP == nil {
@@ -457,6 +473,8 @@ func (n *Network) timeExceeded(r *Router, expired *netpkt.Packet) *netpkt.Packet
 
 // forwardFrom moves a packet one step from router r: local delivery if the
 // destination host hangs off r, otherwise on to the next hop.
+//
+//repolint:hotpath
 func (n *Network) forwardFrom(r *Router, pkt *netpkt.Packet) {
 	dst := pkt.IP.Dst
 	if h, ok := n.hosts[dst]; ok && h.router == r {

@@ -144,6 +144,8 @@ func (e *Engine) Executed() uint64 { return e.events }
 
 // Schedule runs fn after delay d of virtual time. A negative delay is
 // treated as zero. The returned Timer can cancel the event.
+//
+//repolint:hotpath
 func (e *Engine) Schedule(d Duration, fn func()) Timer {
 	idx := e.alloc(d)
 	e.arena[idx].fn = fn
@@ -154,6 +156,8 @@ func (e *Engine) Schedule(d Duration, fn func()) Timer {
 // two arguments inline in the event so the caller needs no per-event
 // closure. With a long-lived fn and pointer-shaped arguments a scheduled
 // packet hop allocates nothing.
+//
+//repolint:hotpath
 func (e *Engine) ScheduleCall(d Duration, fn func(a, b any), a, b any) Timer {
 	idx := e.alloc(d)
 	ev := &e.arena[idx]
@@ -163,6 +167,8 @@ func (e *Engine) ScheduleCall(d Duration, fn func(a, b any), a, b any) Timer {
 
 // alloc reserves an arena slot for an event at now+d and pushes it on the
 // heap. The slot's callback fields are zero; callers fill them.
+//
+//repolint:hotpath
 func (e *Engine) alloc(d Duration) int32 {
 	if d < 0 {
 		d = 0
@@ -184,6 +190,8 @@ func (e *Engine) alloc(d Duration) int32 {
 }
 
 // release recycles an arena slot, invalidating outstanding Timers for it.
+//
+//repolint:hotpath
 func (e *Engine) release(idx int32) {
 	ev := &e.arena[idx]
 	ev.gen++
@@ -286,6 +294,8 @@ func (e *Engine) peek() (Time, bool) {
 
 // step executes the earliest pending event. It reports false when the queue
 // is empty.
+//
+//repolint:hotpath
 func (e *Engine) step() bool {
 	for len(e.heap) > 0 {
 		idx := e.heapPop()

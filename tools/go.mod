@@ -1,0 +1,12 @@
+// Module tools pins the versions of external developer tooling (CI's
+// staticcheck) without adding dependencies to the main module, which
+// stays stdlib-only. It is a separate module so `go build ./...` and
+// `go test ./...` at the repo root never resolve these; CI runs
+// `go mod tidy` here (network) before installing the pinned tool.
+module repro/tools
+
+go 1.24
+
+tool honnef.co/go/tools/cmd/staticcheck
+
+require honnef.co/go/tools v0.6.1
