@@ -107,3 +107,53 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCampaignLoaded prices the same campaign with synthetic
+// background populations sharing the world: the users-vs-throughput curve
+// recorded in BENCH_campaign.json. Background flows churn every bounded
+// flow table while the probes measure, so the delta against users=0 is
+// the full cost of population-scale load. (The 100k-user point lives in
+// internal/trafficgen's BenchmarkBackgroundLoad, where no campaign
+// multiplies the event volume.)
+func BenchmarkCampaignLoaded(b *testing.B) {
+	for _, users := range []int{0, 1000, 10000} {
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			sc := MustLookupScenario("small")
+			if users > 0 {
+				var err error
+				sc, err = ApplyLoad(sc, fmt.Sprintf("users=%d,capacity=2048", users))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sess, err := NewSession(context.Background(), WithScenario(sc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			domains := sess.PBWDomains()
+			if len(domains) > 4 {
+				domains = domains[:4]
+			}
+			campaign := Campaign{
+				Domains:      domains,
+				Measurements: []Measurement{DNS(), HTTP()},
+			}
+			b.ResetTimer()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				stream, err := sess.Run(context.Background(), campaign, WithWorkers(4))
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg := NewAggregateSink()
+				if err := stream.Drain(agg); err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range agg.Vantages() {
+					total += agg.TallyFor(v).Total
+				}
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "results/s")
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package censor
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func TestApplyLoadDirectives(t *testing.T) {
+	base := MustLookupScenario("paper-2018")
+
+	loaded, err := ApplyLoad(base, "users=10000,capacity=2048,think=1500ms,zipf=1.3")
+	if err != nil {
+		t.Fatalf("ApplyLoad: %v", err)
+	}
+	total, edges := 0, 0
+	for _, isp := range loaded.ISPs {
+		total += isp.Population.Users
+		edges += isp.Edges
+		if isp.Population.Users > 0 {
+			if isp.Population.ThinkMS != 1500 || isp.Population.Zipf != 1.3 {
+				t.Errorf("%s: think/zipf not applied: %+v", isp.Name, isp.Population)
+			}
+		}
+		censoring := isp.Mechanism == "wiretap" || isp.Mechanism == "interceptive-overt" ||
+			isp.Mechanism == "interceptive-covert"
+		provider := isp.Name == "TATA" || isp.Name == "Airtel" || isp.Name == "Vodafone"
+		if censoring || provider {
+			if isp.FlowCapacity != 2048 {
+				t.Errorf("%s deploys boxes but capacity not applied (%d)", isp.Name, isp.FlowCapacity)
+			}
+		} else if isp.FlowCapacity != 0 {
+			t.Errorf("%s deploys no boxes but got capacity %d", isp.Name, isp.FlowCapacity)
+		}
+	}
+	if total != 10000 {
+		t.Fatalf("apportioned %d users, want exactly 10000", total)
+	}
+	// Proportionality: MTNL has 56 of the edges, so it seats the largest
+	// population.
+	for _, isp := range loaded.ISPs {
+		if isp.Name != "MTNL" && isp.Population.Users > pop(loaded, "MTNL") {
+			t.Errorf("%s seats %d users, more than MTNL's %d despite fewer edges",
+				isp.Name, isp.Population.Users, pop(loaded, "MTNL"))
+		}
+	}
+	// The input scenario is untouched.
+	for _, isp := range base.ISPs {
+		if isp.Population.Users != 0 || isp.FlowCapacity != 0 {
+			t.Fatalf("ApplyLoad mutated its input: %+v", isp)
+		}
+	}
+
+	// users=0 strips populations from an already-loaded scenario.
+	idle, err := ApplyLoad(MustLookupScenario("paper-2018-loaded"), "users=0")
+	if err != nil {
+		t.Fatalf("ApplyLoad(users=0): %v", err)
+	}
+	for _, isp := range idle.ISPs {
+		if isp.Population.Users != 0 {
+			t.Errorf("users=0 left %s populated", isp.Name)
+		}
+	}
+
+	for _, bad := range []string{
+		"",                  // users missing
+		"think=2s",          // users missing
+		"users=ten",         // not a number
+		"users=-5",          // negative
+		"users=10,weird=1",  // unknown key
+		"users=10,think=0s", // non-positive think
+		"users",             // not key=value
+	} {
+		if _, err := ApplyLoad(base, bad); err == nil {
+			t.Errorf("ApplyLoad(%q) accepted a bad directive", bad)
+		}
+	}
+}
+
+func pop(sc Scenario, name string) int {
+	for _, isp := range sc.ISPs {
+		if isp.Name == name {
+			return isp.Population.Users
+		}
+	}
+	return -1
+}
+
+// TestLoadedCampaignDeterminism runs a campaign against a world under
+// background load: the replica pool, the byte-identity contract and the
+// result stream must all behave exactly as they do idle — workers=1,
+// workers=4 and fresh-world-per-task runs byte-identical, with background
+// flows churning every box's table throughout.
+func TestLoadedCampaignDeterminism(t *testing.T) {
+	sc, err := ApplyLoad(MustLookupScenario("small"), "users=1200,capacity=512")
+	if err != nil {
+		t.Fatalf("ApplyLoad: %v", err)
+	}
+	s, err := NewSession(context.Background(), WithScenario(sc))
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	domains := append([]string(nil), s.PBWDomains()[:2]...)
+	domains = append(domains, s.World().ISP("Idea").HTTPList[:2]...)
+
+	sequential := campaignJSONL(t, s, 1, domains)
+	parallel := campaignJSONL(t, s, 4, domains)
+	if !bytes.Equal(sequential, parallel) {
+		t.Fatalf("loaded campaign diverged between workers=1 and workers=4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			sequential, parallel)
+	}
+	fresh := campaignJSONL(t, s, 4, domains, withFreshReplicaWorlds())
+	if !bytes.Equal(sequential, fresh) {
+		t.Fatalf("loaded campaign diverged from fresh-world-per-task run:\n--- pooled ---\n%s\n--- fresh ---\n%s",
+			sequential, fresh)
+	}
+	if !bytes.Contains(sequential, []byte(`"blocked":true`)) {
+		t.Error("loaded small campaign observed no censorship")
+	}
+}

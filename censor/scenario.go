@@ -109,10 +109,42 @@ type ISPSpec struct {
 	// resolver.
 	ClientResolverPoison int `json:"client_resolver_poison,omitempty"`
 
+	// Population adds synthetic background users whose DNS/HTTP/HTTPS
+	// traffic shares the links and middlebox flow tables the campaign
+	// measures. Zero value means an idle ISP.
+	Population PopulationSpec `json:"population,omitempty"`
+	// FlowCapacity bounds each of this ISP's middlebox flow tables
+	// (including boxes it deploys on customer peering links). At capacity
+	// the coldest live flow is evicted, so under population load the box
+	// can lose a connection's handshake state — an eviction-induced
+	// censorship miss. 0 keeps the generous default (65536).
+	FlowCapacity int `json:"flow_capacity,omitempty"`
+
 	// Transits wire the ISP to upstream providers per hosting region; the
 	// provider's middlebox on each peering link is the collateral-damage
 	// mechanism of Table 3.
 	Transits []TransitSpec `json:"transits,omitempty"`
+}
+
+// PopulationSpec describes one ISP's synthetic background users
+// (internal/trafficgen). Users browse a Zipf-ranked site list with
+// exponential think times, mixing DNS lookups, HTTP page fetches and
+// HTTPS handshakes by weight.
+type PopulationSpec struct {
+	// Users is the number of concurrent synthetic users (0 = none). Each
+	// ISP edge seats up to 40000.
+	Users int `json:"users,omitempty"`
+	// DNS, HTTP and HTTPS are relative request-mix weights; all zero
+	// means pure HTTP.
+	DNS   float64 `json:"dns,omitempty"`
+	HTTP  float64 `json:"http,omitempty"`
+	HTTPS float64 `json:"https,omitempty"`
+	// ThinkMS is the mean think time between one user's page visits in
+	// milliseconds (default 3000).
+	ThinkMS int `json:"think_ms,omitempty"`
+	// Zipf is the popularity exponent over the ranked site list (default
+	// 1.1; larger concentrates traffic on popular sites).
+	Zipf float64 `json:"zipf,omitempty"`
 }
 
 // NotifSpec is the censorship-notification style of an ISP's middleboxes:
@@ -197,6 +229,12 @@ func (s Scenario) lower() ispnet.Scenario {
 			Resolvers: isp.Resolvers, PoisonedResolvers: isp.PoisonedResolvers,
 			DNSBlocklist: isp.DNSBlocklist, DNSConsistency: isp.DNSConsistency,
 			ClientResolverPoison: isp.ClientResolverPoison,
+			Population: ispnet.PopulationSpec{
+				Users: isp.Population.Users,
+				DNS:   isp.Population.DNS, HTTP: isp.Population.HTTP, HTTPS: isp.Population.HTTPS,
+				ThinkMS: isp.Population.ThinkMS, Zipf: isp.Population.Zipf,
+			},
+			FlowCapacity: isp.FlowCapacity,
 		}
 		for _, t := range isp.Transits {
 			spec.Transits = append(spec.Transits, ispnet.TransitSpec{
@@ -230,6 +268,12 @@ func liftScenario(sp ispnet.Scenario) Scenario {
 			Resolvers: isp.Resolvers, PoisonedResolvers: isp.PoisonedResolvers,
 			DNSBlocklist: isp.DNSBlocklist, DNSConsistency: isp.DNSConsistency,
 			ClientResolverPoison: isp.ClientResolverPoison,
+			Population: PopulationSpec{
+				Users: isp.Population.Users,
+				DNS:   isp.Population.DNS, HTTP: isp.Population.HTTP, HTTPS: isp.Population.HTTPS,
+				ThinkMS: isp.Population.ThinkMS, Zipf: isp.Population.Zipf,
+			},
+			FlowCapacity: isp.FlowCapacity,
 		}
 		for _, t := range isp.Transits {
 			spec.Transits = append(spec.Transits, TransitSpec{
@@ -318,6 +362,10 @@ func init() {
 	small := liftScenario(ispnet.SmallScenario())
 	small.Vantages = append([]string(nil), StudyISPs...)
 	RegisterScenario(small)
+
+	loaded := liftScenario(ispnet.LoadedScenario())
+	loaded.Vantages = append([]string(nil), StudyISPs...)
+	RegisterScenario(loaded)
 
 	RegisterScenario(dnsOnlyScenario())
 	RegisterScenario(allInterceptiveScenario())

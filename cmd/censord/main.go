@@ -59,18 +59,19 @@ func main() {
 	runCap := flag.Int("runs", 64, "how many runs keep their roll-ups")
 	timeout := flag.Duration("timeout", 3*time.Second, "per-probe network timeout")
 	seed := flag.Int64("seed", 0, "override the world seed (0 = scenario default)")
+	load := flag.String("load", "", "background-traffic overlay for the world, e.g. users=10000 or users=10000,capacity=2048")
 	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	if err := run(*listen, *scenario, *every, *jitter, *workers, *domains,
-		*measure, *isps, *ringSize, *runCap, *timeout, *seed, *withPprof); err != nil {
+		*measure, *isps, *ringSize, *runCap, *timeout, *seed, *load, *withPprof); err != nil {
 		fmt.Fprintf(os.Stderr, "censord: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen, scenario string, every, jitter time.Duration, workers, domainCap int,
-	measure, isps string, ringSize, runCap int, timeout time.Duration, seed int64, withPprof bool) error {
+	measure, isps string, ringSize, runCap int, timeout time.Duration, seed int64, load string, withPprof bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -95,6 +96,7 @@ func run(listen, scenario string, every, jitter time.Duration, workers, domainCa
 		Scenario:  world,
 		Campaign:  censor.Campaign{Measurements: measurements},
 		DomainCap: domainCap,
+		Load:      load,
 		Every:     every,
 		Jitter:    jitter,
 		Workers:   workers,

@@ -63,6 +63,7 @@ func main() {
 	isps := flag.String("isps", "", "comma-separated vantage ISPs (default: the nine studied ISPs)")
 	measure := flag.String("measure", "", "comma-separated detector names from the registry (default: all registered)")
 	domains := flag.Int("domains", 0, "cap the campaign to the first N PBW domains (0 = all)")
+	load := flag.String("load", "", "background-traffic overlay for the world, e.g. users=10000 or users=10000,capacity=2048")
 	format := flag.String("format", "jsonl", "campaign output format: jsonl, csv, or summary")
 	push := flag.String("push", "", "POST the finished campaign's JSONL results to a running censord at this base URL")
 	timeout := flag.Duration("timeout", 3*time.Second, "per-probe network timeout")
@@ -87,7 +88,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "censorscan: -quick and -scenario both pick the world; use one")
 		os.Exit(2)
 	}
-	for _, name := range []string{"workers", "isps", "measure", "domains", "format", "push"} {
+	for _, name := range []string{"workers", "isps", "measure", "domains", "format", "push", "load"} {
 		if !set[name] {
 			continue
 		}
@@ -121,6 +122,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
 		os.Exit(2)
+	}
+	if *load != "" {
+		world, err = censor.ApplyLoad(world, *load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	// Table mode regenerates the paper's evaluation, which only the two
 	// paper presets calibrate (a JSON spec file never qualifies, whatever

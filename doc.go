@@ -26,6 +26,22 @@
 // byte-identical to sequential ones while building at most min(workers,
 // tasks) worlds, and usually none after the first run.
 //
+// Scenarios can seat synthetic user populations (internal/trafficgen):
+// per-ISP PopulationSpecs — user counts, DNS/HTTP/HTTPS request mix,
+// exponential think times, Zipf domain popularity over the shared site
+// list — compile to generator hosts on the ISP's edges whose flows cross
+// the same links and middlebox flow tables the campaigns measure. Flow
+// tables are bounded (per-ISP FlowCapacity) with idle expiry plus LRU
+// eviction, so population load makes stateful realism measurable: a
+// dallying connection's state can be displaced and a blocklisted request
+// then sails past the censor — an eviction-induced miss an idle world
+// never shows, reproduced deterministically because background traffic
+// draws from the same seeded engine as everything else.
+// censor.ApplyLoad overlays a load directive ("users=10000,capacity=2048")
+// onto any scenario, surfaced as -load on censorscan and censord; the
+// "paper-2018-loaded" preset is the paper calibration under an 11k-user
+// population.
+//
 // Underneath, the simulation engine (internal/sim) is built for the
 // packet hot path: events live by value in a recycled arena behind a
 // binary heap of slot indices, cancellation hands out generation-counted

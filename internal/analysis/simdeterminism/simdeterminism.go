@@ -34,14 +34,15 @@ var Analyzer = &analysis.Analyzer{
 // inside a sim.Engine callback or builds the world it runs in. Other
 // packages opt in with a //repolint:deterministic file directive.
 var deterministicPkgs = map[string]bool{
-	"repro/internal/sim":       true,
-	"repro/internal/netsim":    true,
-	"repro/internal/tcpsim":    true,
-	"repro/internal/dnssim":    true,
-	"repro/internal/websim":    true,
-	"repro/internal/middlebox": true,
-	"repro/internal/ispnet":    true,
-	"repro/internal/probe":     true,
+	"repro/internal/sim":        true,
+	"repro/internal/netsim":     true,
+	"repro/internal/tcpsim":     true,
+	"repro/internal/dnssim":     true,
+	"repro/internal/websim":     true,
+	"repro/internal/middlebox":  true,
+	"repro/internal/ispnet":     true,
+	"repro/internal/probe":      true,
+	"repro/internal/trafficgen": true,
 }
 
 // wallClockFuncs are the time package functions that read or wait on the

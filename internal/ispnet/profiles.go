@@ -10,7 +10,11 @@
 // running the probe code against the resulting packet-level network.
 package ispnet
 
-import "repro/internal/middlebox"
+import (
+	"time"
+
+	"repro/internal/middlebox"
+)
 
 // CensorKind is the censorship mechanism an ISP operates itself.
 type CensorKind int
@@ -74,6 +78,29 @@ type Profile struct {
 
 	// Transits lists upstream providers for customer ISPs (Table 3).
 	Transits []TransitLink
+
+	// Population is the synthetic background-user calibration (trafficgen);
+	// Users == 0 means the ISP contributes no background traffic.
+	Population Population
+	// FlowCapacity bounds each of the ISP's middlebox flow tables
+	// (including boxes it deploys on customer peering links); 0 keeps the
+	// middlebox default.
+	FlowCapacity int
+}
+
+// Population calibrates one ISP's synthetic background users. The shares
+// are relative weights over request kinds (normalized at build time); the
+// compiler resolves zero Think/ZipfS to defaults when Users > 0.
+type Population struct {
+	Users int
+	// Request mix weights; all zero means pure HTTP.
+	DNSShare, HTTPShare, HTTPSShare float64
+	// Think is the mean of the exponential think-time distribution between
+	// one user's page visits.
+	Think time.Duration
+	// ZipfS is the Zipf popularity exponent over the ranked site list
+	// (Alexa ranks first, then the PBW population).
+	ZipfS float64
 }
 
 // ASNs for the simulated ISPs and fabric.

@@ -2,6 +2,7 @@ package ispnet
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/middlebox"
 )
@@ -81,7 +82,31 @@ type ISPSpec struct {
 	// resolver.
 	ClientResolverPoison int `json:"client_resolver_poison,omitempty"`
 
+	// Population adds synthetic background users whose DNS/HTTP/HTTPS
+	// traffic flows through the same links and middlebox flow tables the
+	// campaign measures (trafficgen).
+	Population PopulationSpec `json:"population,omitempty"`
+	// FlowCapacity bounds each of this ISP's middlebox flow tables; at
+	// capacity the coldest live flow is evicted, which under population
+	// load produces the eviction-induced censorship misses the paper's
+	// stateful boxes imply. 0 keeps the generous middlebox default.
+	FlowCapacity int `json:"flow_capacity,omitempty"`
+
 	Transits []TransitSpec `json:"transits,omitempty"`
+}
+
+// PopulationSpec describes one ISP's synthetic background users. DNS, HTTP
+// and HTTPS are relative request-mix weights (all zero means pure HTTP);
+// ThinkMS is the mean think time between a user's page visits in
+// milliseconds (default 3000); Zipf is the popularity exponent over the
+// ranked site list (default 1.1).
+type PopulationSpec struct {
+	Users   int     `json:"users,omitempty"`
+	DNS     float64 `json:"dns,omitempty"`
+	HTTP    float64 `json:"http,omitempty"`
+	HTTPS   float64 `json:"https,omitempty"`
+	ThinkMS int     `json:"think_ms,omitempty"`
+	Zipf    float64 `json:"zipf,omitempty"`
 }
 
 // NotifSpec is the censorship-notification style of an ISP's middleboxes —
@@ -135,6 +160,11 @@ func MechanismNames() []string {
 // second octet.
 const maxScenarioISPs = 24
 
+// maxUsersPerEdge is the synthetic-user seating of one edge: each edge
+// hosts one traffic-generator host whose users hold fixed source ports
+// 10000..49999.
+const maxUsersPerEdge = 40000
+
 // Validate checks the scenario for structural errors: impossible sizings,
 // unknown mechanisms or transit providers, calibration outside its domain,
 // and worlds whose clients could never reach the hosting fabric. It
@@ -169,15 +199,21 @@ func (s Scenario) Validate() error {
 		}
 		byName[isp.Name] = isp
 	}
+	providers := make(map[string]bool)
 	for i := range s.ISPs {
-		if err := s.validateISP(&s.ISPs[i], byName); err != nil {
+		for _, t := range s.ISPs[i].Transits {
+			providers[t.Provider] = true
+		}
+	}
+	for i := range s.ISPs {
+		if err := s.validateISP(&s.ISPs[i], byName, providers); err != nil {
 			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 	}
 	return nil
 }
 
-func (s Scenario) validateISP(isp *ISPSpec, byName map[string]*ISPSpec) error {
+func (s Scenario) validateISP(isp *ISPSpec, byName map[string]*ISPSpec, providers map[string]bool) error {
 	kind, known := mechanisms[isp.Mechanism]
 	if isp.Mechanism == "" {
 		kind, known = CensorNone, true
@@ -250,6 +286,27 @@ func (s Scenario) validateISP(isp *ISPSpec, byName map[string]*ISPSpec) error {
 		return fmt.Errorf("ISP %q: poisoned_resolvers %d exceeds resolvers %d", isp.Name, isp.PoisonedResolvers, isp.Resolvers)
 	}
 
+	pop := isp.Population
+	if pop.Users < 0 || pop.ThinkMS < 0 {
+		return fmt.Errorf("ISP %q: negative population users/think_ms (%d/%d)", isp.Name, pop.Users, pop.ThinkMS)
+	}
+	if pop.DNS < 0 || pop.HTTP < 0 || pop.HTTPS < 0 || pop.Zipf < 0 {
+		return fmt.Errorf("ISP %q: negative population mix weight or zipf exponent", isp.Name)
+	}
+	if pop.Users == 0 && pop != (PopulationSpec{}) {
+		return fmt.Errorf("ISP %q: population calibration set but users is 0", isp.Name)
+	}
+	if pop.Users > maxUsersPerEdge*isp.Edges {
+		return fmt.Errorf("ISP %q: population %d exceeds %d users the %d edge(s) can seat (%d ports each)",
+			isp.Name, pop.Users, maxUsersPerEdge*isp.Edges, isp.Edges, maxUsersPerEdge)
+	}
+	if isp.FlowCapacity < 0 {
+		return fmt.Errorf("ISP %q: negative flow_capacity (%d)", isp.Name, isp.FlowCapacity)
+	}
+	if isp.FlowCapacity > 0 && !httpCensoring && !providers[isp.Name] {
+		return fmt.Errorf("ISP %q: flow_capacity set but the ISP deploys no middleboxes (mechanism %q, not a transit provider)", isp.Name, isp.Mechanism)
+	}
+
 	coversUS, coversEU := isp.Borders > 0, isp.Borders > 0
 	for _, t := range isp.Transits {
 		p, ok := byName[t.Provider]
@@ -308,6 +365,26 @@ func (s Scenario) Compile() (Config, error) {
 			Resolvers: isp.Resolvers, PoisonedResolvers: isp.PoisonedResolvers,
 			DNSBlockCount: isp.DNSBlocklist, DNSConsistency: isp.DNSConsistency,
 			ClientResolverSize: isp.ClientResolverPoison,
+			FlowCapacity:       isp.FlowCapacity,
+		}
+		if isp.Population.Users > 0 {
+			p.Population = Population{
+				Users:      isp.Population.Users,
+				DNSShare:   isp.Population.DNS,
+				HTTPShare:  isp.Population.HTTP,
+				HTTPSShare: isp.Population.HTTPS,
+				Think:      time.Duration(isp.Population.ThinkMS) * time.Millisecond,
+				ZipfS:      isp.Population.Zipf,
+			}
+			if p.Population.Think == 0 {
+				p.Population.Think = 3 * time.Second
+			}
+			if p.Population.ZipfS == 0 {
+				p.Population.ZipfS = 1.1
+			}
+			if p.Population.DNSShare == 0 && p.Population.HTTPShare == 0 && p.Population.HTTPSShare == 0 {
+				p.Population.HTTPShare = 1
+			}
 		}
 		if isp.Notification != (NotifSpec{}) {
 			p.Style = middlebox.NotifStyle{
@@ -418,6 +495,52 @@ func PaperScenario() Scenario {
 			},
 		},
 	}
+}
+
+// LoadedScenario is the paper calibration under population-scale load:
+// 11000 synthetic users spread over the ten ISPs in rough subscriber-share
+// proportion, and realistic (bounded) flow tables on every ISP that
+// deploys middleboxes. Under this load the HTTP boxes' 2048-entry tables
+// turn over in tens of seconds, so a connection that idles between
+// handshake and request loses its flow state — the eviction-induced
+// censorship miss an idle world never shows.
+func LoadedScenario() Scenario {
+	s := PaperScenario()
+	s.Name = "paper-2018-loaded"
+	s.Description = "the paper's ten-ISP world with 11k synthetic background users and bounded middlebox flow tables"
+	users := []struct {
+		name  string
+		users int
+		cap   int
+	}{
+		{"Airtel", 3000, 2048},
+		{"Idea", 3000, 2048},
+		{"Vodafone", 1200, 2048},
+		{"Jio", 1800, 2048},
+		{"MTNL", 400, 0},
+		{"BSNL", 400, 0},
+		{"NKN", 100, 0},
+		{"Sify", 50, 0},
+		{"Siti", 50, 0},
+		{"TATA", 0, 2048},
+	}
+	for i := range s.ISPs {
+		isp := &s.ISPs[i]
+		for _, u := range users {
+			if u.name != isp.Name {
+				continue
+			}
+			isp.FlowCapacity = u.cap
+			if u.users > 0 {
+				isp.Population = PopulationSpec{
+					Users: u.users,
+					DNS:   0.1, HTTP: 0.8, HTTPS: 0.1,
+					ThinkMS: 2000, Zipf: 1.1,
+				}
+			}
+		}
+	}
+	return s
 }
 
 // SmallScenario is the paper calibration at reduced scale — the same ten

@@ -12,6 +12,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
+	"repro/internal/trafficgen"
 	"repro/internal/websim"
 )
 
@@ -85,6 +86,23 @@ func (b *BoxRef) Triggers() int {
 	return b.IM.Triggers
 }
 
+// Evictions returns how many live flows the box's bounded flow table has
+// displaced under capacity pressure since the last reset.
+func (b *BoxRef) Evictions() uint64 {
+	if b.WM != nil {
+		return b.WM.Evictions()
+	}
+	return b.IM.Evictions()
+}
+
+// FlowLen returns the box's current flow-table occupancy.
+func (b *BoxRef) FlowLen() int {
+	if b.WM != nil {
+		return b.WM.Len()
+	}
+	return b.IM.Len()
+}
+
 // ISP is one built network operator.
 type ISP struct {
 	Profile
@@ -109,6 +127,10 @@ type ISP struct {
 	Targets []netip.Addr
 	// BlockIP is the static address poisoned resolvers usually answer with.
 	BlockIP netip.Addr
+
+	// genHosts are the per-edge generator hosts that carry the ISP's
+	// synthetic background population (nil when Population.Users == 0).
+	genHosts []*netsim.Host
 
 	peers []transitPeer
 }
@@ -148,6 +170,10 @@ type World struct {
 	Control   *Endpoint
 	GoogleDNS netip.Addr
 	VPs       []*Endpoint
+
+	// Traffic drives the synthetic background populations; nil when no
+	// profile seats users.
+	Traffic *trafficgen.Generator
 
 	boxesByRouter map[int][]*BoxRef
 	regionByASN   map[int]websim.Region
@@ -205,6 +231,9 @@ func (w *World) Reset() {
 		for _, r := range isp.Resolvers {
 			r.Reset()
 		}
+	}
+	if w.Traffic != nil {
+		w.Traffic.Start()
 	}
 }
 
@@ -303,9 +332,17 @@ func NewWorld(cfg Config) *World {
 	w.Net.Build()
 	w.wireTransits()
 	w.buildNotifSignatures()
+	w.buildTraffic()
 	// Everything registered on hosts from here on is runtime state that
 	// Reset rewinds.
 	w.Net.MarkBaseline()
+	if w.Traffic != nil {
+		// Prime the background population. This is the first engine-RNG
+		// consumer after the (draw-free) build, exactly as it is after
+		// Reset rewinds the RNG — the byte-identity contract holds with
+		// load flowing.
+		w.Traffic.Start()
+	}
 	return w
 }
 
@@ -534,6 +571,13 @@ func (w *World) buildISP(p *Profile) {
 			isp.Resolvers = append(isp.Resolvers, dnssim.NewResolver(rh, websim.RegionIN, w.Authority, time.Millisecond))
 			resolversLeft--
 		}
+		if p.Population.Users > 0 {
+			// The edge's background-population generator host: one address
+			// aggregates the edge's synthetic subscribers (distinguished by
+			// local port), the way a CGNAT egress would.
+			addr := netip.AddrFrom4([4]byte{p.Base1, p.Base2, byte(e), 200})
+			isp.genHosts = append(isp.genHosts, w.Net.AddHost(addr, er, time.Millisecond))
+		}
 	}
 	// /16 fallback at the core so dead in-ISP addresses route and drop.
 	w.Net.ClaimPrefix(netip.PrefixFrom(netip.AddrFrom4([4]byte{p.Base1, p.Base2, 0, 0}), 16), isp.Core)
@@ -649,6 +693,7 @@ func (w *World) deployBox(isp *ISP, id string, router *netsim.Router, kind Censo
 		OwnPrefixes:   isp.Prefixes,
 		LastHostMatch: kind == CensorIMCovert,
 		Style:         isp.Profile.Style,
+		FlowCapacity:  isp.Profile.FlowCapacity,
 	}
 	ref := &BoxRef{ID: id, Owner: isp.Name, ASN: isp.ASN, Router: router, Kind: kind, List: cfg.Blocklist, Scope: scope}
 	switch kind {

@@ -38,9 +38,16 @@ func NewInterceptor(net *netsim.Network, cfg Config, overt bool) *Interceptor {
 	if overt {
 		im.notif = cfg.Style.ResponseBytes()
 	}
-	im.tbl = newFlowTable(cfg.timeout(), net.Engine().Now)
+	im.tbl = newFlowTable(cfg.timeout(), cfg.flowCapacity(), net.Engine().Now)
 	return im
 }
+
+// Evictions reports live flows displaced by capacity pressure since the
+// last Reset.
+func (im *Interceptor) Evictions() uint64 { return im.tbl.evictions }
+
+// Len reports the number of currently tracked flows.
+func (im *Interceptor) Len() int { return im.tbl.size() }
 
 // Reset clears the box's flow table and trigger counters, restoring the
 // just-deployed state for world pooling.

@@ -86,6 +86,12 @@ type Config struct {
 	LastHostMatch bool
 	// StateTimeout purges idle flow state; the paper measured 2-3 minutes.
 	StateTimeout time.Duration
+	// FlowCapacity bounds the flow table; at capacity the coldest live
+	// flow is evicted (LRU) to admit a new one, after which the box no
+	// longer recognizes the displaced connection as established — the
+	// load-dependent censorship miss background traffic makes observable.
+	// Zero means defaultFlowCapacity.
+	FlowCapacity int
 	Style        NotifStyle
 }
 
@@ -94,6 +100,17 @@ func (c *Config) timeout() time.Duration {
 		return 150 * time.Second
 	}
 	return c.StateTimeout
+}
+
+// defaultFlowCapacity is generous enough that only population-scale load
+// ever reaches it; idle-world campaigns never see a capacity eviction.
+const defaultFlowCapacity = 65536
+
+func (c *Config) flowCapacity() int {
+	if c.FlowCapacity <= 0 {
+		return defaultFlowCapacity
+	}
+	return c.FlowCapacity
 }
 
 func (c *Config) inOwn(a netip.Addr) bool {
@@ -118,7 +135,11 @@ func (c *Config) inScope(src, dst netip.Addr) bool {
 }
 
 // flowState is the per-connection record a stateful middlebox keeps.
+// Records live in flowTable's slot arena; key and prev/next are the
+// table's bookkeeping (map removal on eviction, intrusive LRU list).
 type flowState struct {
+	key        netpkt.FlowKey
+	prev, next int32
 	synSeen    bool
 	synAckSeen bool
 	// established is set only after the full three-way handshake was
@@ -136,64 +157,181 @@ type flowState struct {
 	blackholed bool
 }
 
-// flowTable tracks flows with idle timeout.
+// flowTable tracks flows with an idle timeout and a hard capacity bound.
+// Records live by value in a slot arena reached through the key map, and
+// every slot sits on an intrusive LRU list (head = coldest). Slots are
+// recycled through a free list, so once the arena has grown to the working
+// set the table allocates nothing per flow — the property the background-
+// traffic zero-alloc gate measures through it.
 type flowTable struct {
-	flows   map[netpkt.FlowKey]*flowState
-	timeout time.Duration
-	now     func() sim.Time
+	flows      map[netpkt.FlowKey]int32
+	entries    []flowState
+	free       []int32
+	head, tail int32
+	timeout    time.Duration
+	capacity   int
+	evictions  uint64
+	now        func() sim.Time
 }
 
-func newFlowTable(timeout time.Duration, now func() sim.Time) *flowTable {
-	return &flowTable{flows: make(map[netpkt.FlowKey]*flowState), timeout: timeout, now: now}
+func newFlowTable(timeout time.Duration, capacity int, now func() sim.Time) *flowTable {
+	if capacity <= 0 {
+		capacity = defaultFlowCapacity
+	}
+	return &flowTable{
+		flows:    make(map[netpkt.FlowKey]int32),
+		head:     -1,
+		tail:     -1,
+		timeout:  timeout,
+		capacity: capacity,
+		now:      now,
+	}
 }
 
-// reset drops all flow state in place, keeping map capacity.
-func (t *flowTable) reset() { clear(t.flows) }
+// reset drops all flow state in place, keeping map and arena capacity.
+func (t *flowTable) reset() {
+	clear(t.flows)
+	t.entries = t.entries[:0]
+	t.free = t.free[:0]
+	t.head, t.tail = -1, -1
+	t.evictions = 0
+}
 
-// get returns live state for the client-first key, purging it when expired.
-func (t *flowTable) get(key netpkt.FlowKey) *flowState {
-	st, ok := t.flows[key]
+func (t *flowTable) size() int { return len(t.flows) }
+
+// unlink removes a slot from the LRU list.
+//
+//repolint:hotpath
+func (t *flowTable) unlink(idx int32) {
+	e := &t.entries[idx]
+	if e.prev >= 0 {
+		t.entries[e.prev].next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next >= 0 {
+		t.entries[e.next].prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+// pushTail appends a slot at the hot end of the LRU list.
+//
+//repolint:hotpath
+func (t *flowTable) pushTail(idx int32) {
+	e := &t.entries[idx]
+	e.prev, e.next = t.tail, -1
+	if t.tail >= 0 {
+		t.entries[t.tail].next = idx
+	} else {
+		t.head = idx
+	}
+	t.tail = idx
+}
+
+// touch stamps a slot's activity and moves it to the hot end.
+//
+//repolint:hotpath
+func (t *flowTable) touch(idx int32) {
+	t.entries[idx].lastSeen = t.now()
+	if t.tail == idx {
+		return
+	}
+	t.unlink(idx)
+	t.pushTail(idx)
+}
+
+// drop removes a slot from the table entirely and recycles it.
+//
+//repolint:hotpath
+func (t *flowTable) drop(idx int32) {
+	t.unlink(idx)
+	delete(t.flows, t.entries[idx].key)
+	t.free = append(t.free, idx)
+}
+
+// get returns the slot for the client-first key, purging it when expired;
+// -1 when the key is untracked.
+//
+//repolint:hotpath
+func (t *flowTable) get(key netpkt.FlowKey) int32 {
+	idx, ok := t.flows[key]
 	if !ok {
-		return nil
+		return -1
 	}
-	if t.now().Sub(st.lastSeen) > t.timeout {
-		delete(t.flows, key)
-		return nil
+	if t.now().Sub(t.entries[idx].lastSeen) > t.timeout {
+		t.drop(idx)
+		return -1
 	}
-	return st
+	return idx
 }
 
-func (t *flowTable) create(key netpkt.FlowKey) *flowState {
-	st := &flowState{lastSeen: t.now()}
-	t.flows[key] = st
-	// Opportunistic sweep to bound memory during large scans.
-	if len(t.flows) > 4096 {
-		cutoff := t.now()
-		for k, s := range t.flows {
-			if cutoff.Sub(s.lastSeen) > t.timeout {
-				delete(t.flows, k)
+// create claims a slot for key. At capacity it first drops idle-expired
+// flows from the cold end (plain expiry), then displaces the coldest live
+// flow — the counted eviction that loses an established connection's
+// handshake state under population load.
+//
+//repolint:hotpath
+func (t *flowTable) create(key netpkt.FlowKey) int32 {
+	if len(t.flows) >= t.capacity {
+		now := t.now()
+		for t.head >= 0 && len(t.flows) >= t.capacity {
+			if now.Sub(t.entries[t.head].lastSeen) <= t.timeout {
+				break
 			}
+			t.drop(t.head)
+		}
+		for t.head >= 0 && len(t.flows) >= t.capacity {
+			t.drop(t.head)
+			t.evictions++
 		}
 	}
-	return st
+	var idx int32
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.entries = append(t.entries, flowState{})
+		idx = int32(len(t.entries) - 1)
+	}
+	t.entries[idx] = flowState{key: key, prev: -1, next: -1, lastSeen: t.now()}
+	t.flows[key] = idx
+	t.pushTail(idx)
+	return idx
 }
 
 // observe updates flow state from one packet and returns the state (nil if
-// the packet belongs to no tracked flow and starts none). clientKey
-// reports whether pkt travels client->server.
+// the packet belongs to no tracked flow and starts none). clientToServer
+// reports whether pkt travels client->server. The returned pointer is into
+// the slot arena and is valid only until the next table mutation.
+//
+//repolint:hotpath
 func (t *flowTable) observe(pkt *netpkt.Packet) (st *flowState, clientToServer bool) {
 	tcp := pkt.TCP
 	key := pkt.Flow()
-	// New flow: a bare SYN defines the client side.
+	// New flow: a bare SYN defines the client side. A live entry under the
+	// same key is a reused 4-tuple (population load cycles fixed source
+	// ports); the box starts that flow over.
 	if tcp.Flags.Has(netpkt.SYN) && !tcp.Flags.Has(netpkt.ACK) {
-		st = t.create(key)
+		idx := t.get(key)
+		if idx >= 0 {
+			e := &t.entries[idx]
+			*e = flowState{key: key, prev: e.prev, next: e.next}
+			t.touch(idx)
+		} else {
+			idx = t.create(key)
+		}
+		st = &t.entries[idx]
 		st.synSeen = true
 		st.clientISS = tcp.Seq
 		st.clientNxt = tcp.Seq + 1
 		return st, true
 	}
-	if st = t.get(key); st != nil {
-		st.lastSeen = t.now()
+	if idx := t.get(key); idx >= 0 {
+		t.touch(idx)
+		st = &t.entries[idx]
 		// client -> server direction
 		if tcp.Flags.Has(netpkt.ACK) && st.synAckSeen && !st.established && tcp.Ack == st.serverISS+1 {
 			st.established = true
@@ -204,8 +342,9 @@ func (t *flowTable) observe(pkt *netpkt.Packet) (st *flowState, clientToServer b
 		return st, true
 	}
 	rev := key.Reverse()
-	if st = t.get(rev); st != nil {
-		st.lastSeen = t.now()
+	if idx := t.get(rev); idx >= 0 {
+		t.touch(idx)
+		st = &t.entries[idx]
 		// server -> client direction
 		if tcp.Flags.Has(netpkt.SYN|netpkt.ACK) && !st.synAckSeen {
 			st.synAckSeen = true

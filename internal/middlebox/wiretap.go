@@ -58,9 +58,16 @@ func NewWiretap(net *netsim.Network, cfg Config, lossProb float64) *Wiretap {
 		net:         net,
 		notif:       cfg.Style.ResponseBytes(),
 	}
-	w.tbl = newFlowTable(cfg.timeout(), net.Engine().Now)
+	w.tbl = newFlowTable(cfg.timeout(), cfg.flowCapacity(), net.Engine().Now)
 	return w
 }
+
+// Evictions reports live flows displaced by capacity pressure since the
+// last Reset.
+func (w *Wiretap) Evictions() uint64 { return w.tbl.evictions }
+
+// Len reports the number of currently tracked flows.
+func (w *Wiretap) Len() int { return w.tbl.size() }
 
 // Reset clears the box's flow table and trigger counters, restoring the
 // just-deployed state for world pooling.

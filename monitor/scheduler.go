@@ -30,6 +30,11 @@ type Job struct {
 	// (0 = no cap). Resolved against the session's world at run time, so
 	// callers need not build the world themselves just to slice its list.
 	DomainCap int
+	// Load optionally overlays a background-traffic directive (see
+	// censor.ApplyLoad) on Scenario before the session builds, e.g.
+	// "users=10000,capacity=2048" — the job then measures a world whose
+	// censors are under population load.
+	Load string
 	// Every is the cadence; 0 means on-demand only.
 	Every time.Duration
 	// Jitter adds a uniform random delay in [0, Jitter) to each scheduled
@@ -79,6 +84,13 @@ func NewScheduler(ctx context.Context, store *Store, jobs ...Job) (*Scheduler, e
 		}
 		if _, dup := s.jobs[j.Name]; dup {
 			return nil, fmt.Errorf("monitor: duplicate job %q", j.Name)
+		}
+		if j.Load != "" {
+			loaded, err := censor.ApplyLoad(j.Scenario, j.Load)
+			if err != nil {
+				return nil, fmt.Errorf("monitor: job %q: %w", j.Name, err)
+			}
+			j.Scenario = loaded
 		}
 		opts := append([]censor.Option{censor.WithScenario(j.Scenario)}, j.Options...)
 		sess, err := censor.NewSession(ctx, opts...)
