@@ -1,13 +1,17 @@
 package censor
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 
 	"repro/internal/ispnet"
+	"repro/internal/pcapwire"
 )
 
 // Campaign describes one fan-out: every configured vantage runs every
@@ -287,12 +291,53 @@ func runTask(ctx context.Context, world *ispnet.World, cfg config, t task, domai
 		// missing one is unreachable, but fail loudly rather than panic.
 		return []Result{{Vantage: t.vantage, Measurement: t.m.Kind(), Error: err.Error()}}
 	}
+	finishPcap := startTaskPcap(world, cfg, t)
 	out := make([]Result, 0, len(domains))
 	for _, d := range domains {
 		if ctx.Err() != nil {
-			return out
+			break
 		}
 		out = append(out, t.m.Measure(ctx, v, d))
 	}
+	if err := finishPcap(); err != nil {
+		out = append(out, Result{Vantage: t.vantage, Measurement: t.m.Kind(),
+			Error: fmt.Sprintf("pcap: %v", err)})
+	}
 	return out
+}
+
+// startTaskPcap installs a packet tap on the task vantage's client host,
+// streaming every packet the client sends or receives into
+// <pcapDir>/<vantage>_<kind>.pcap. The returned finish func detaches the
+// tap and closes the file, reporting the first error of the capture.
+// Virtual timestamps make the file a deterministic artifact: identical
+// across runs, worker counts, and replica reuse.
+func startTaskPcap(world *ispnet.World, cfg config, t task) func() error {
+	if cfg.pcapDir == "" {
+		return func() error { return nil }
+	}
+	host := world.ISP(t.vantage).Client.Host
+	path := filepath.Join(cfg.pcapDir, t.vantage+"_"+t.m.Kind()+".pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		return func() error { return err }
+	}
+	bw := bufio.NewWriter(f)
+	pw, err := pcapwire.NewWriter(bw)
+	if err != nil {
+		f.Close()
+		return func() error { return err }
+	}
+	host.SetTap(pw.Tap())
+	return func() error {
+		host.SetTap(nil)
+		err := pw.Err()
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
 }

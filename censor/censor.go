@@ -56,6 +56,7 @@ package censor
 import (
 	"context"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -97,6 +98,9 @@ type config struct {
 	// per task — the pre-pooling behaviour, kept (unexported) so the
 	// benchmarks and the determinism tests can compare against it.
 	freshReplicas bool
+	// pcapDir, when set, makes campaign tasks record the vantage client's
+	// packets into <pcapDir>/<vantage>_<kind>.pcap files.
+	pcapDir string
 }
 
 func defaultConfig() config {
@@ -185,6 +189,36 @@ func WithVantages(isps ...string) Option {
 		if len(isps) > 0 {
 			c.vantages = append([]string(nil), isps...)
 		}
+	}
+}
+
+// WithPcap makes campaign tasks capture the vantage client's packets into
+// classic .pcap files under dir, one per (vantage, measurement) task,
+// named <vantage>_<kind>.pcap. Timestamps are virtual, so for a given
+// scenario the files are byte-identical run to run and across worker
+// counts — golden artifacts, same contract as the result stream.
+//
+// The directory is created and probed for writability when the option is
+// applied; an unusable path surfaces as an error from NewSession or Run
+// rather than as silent capture loss mid-campaign.
+func WithPcap(dir string) Option {
+	return func(c *config) {
+		if dir == "" {
+			c.err = fmt.Errorf("censor: WithPcap: empty directory")
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			c.err = fmt.Errorf("censor: WithPcap: %w", err)
+			return
+		}
+		probe, err := os.CreateTemp(dir, ".pcap-probe-*")
+		if err != nil {
+			c.err = fmt.Errorf("censor: WithPcap: directory not writable: %w", err)
+			return
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+		c.pcapDir = dir
 	}
 }
 
@@ -290,6 +324,30 @@ func NewSession(ctx context.Context, opts ...Option) (*Session, error) {
 //
 //repolint:allow apisurface -- documented oracle hatch; evaluation code needs ground truth the clean surface hides
 func (s *Session) World() *ispnet.World { return s.world }
+
+// AcquireWorld checks the session's shared world out to an external
+// serialized driver — the netbridge pump goroutine — and returns it with a
+// release func. The caller owns the world until release: Measure blocks
+// for the duration (campaigns are unaffected; they run on replicas).
+// Release is idempotent. This is the bridge hatch: everything else about
+// the clean surface stays internal-free, but seating real net.Conn
+// endpoints on the simulation requires handing the packet-level world to
+// exactly one foreign goroutine at a time.
+//
+//repolint:allow apisurface -- documented bridge hatch; netbridge seats real sockets on the session world under this lock
+func (s *Session) AcquireWorld() (*ispnet.World, func()) {
+	s.mu.Lock()
+	// The lock serializes all world use; adopt it for the acquiring side.
+	s.world.Rebind()
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			s.world.Rebind()
+			s.mu.Unlock()
+		})
+	}
+	return s.world, release
+}
 
 // Scenario returns a copy of the scenario this session's world was built
 // from — the spec campaign workers replicate.

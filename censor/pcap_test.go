@@ -1,0 +1,109 @@
+package censor
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCampaignPcapGolden pins the pcap-artifact contract: capture files
+// are byte-identical across worker counts and across repeat runs on the
+// same session (which exercises pooled, engine-reset replica worlds).
+func TestCampaignPcapGolden(t *testing.T) {
+	s, err := NewSession(context.Background(),
+		WithScenario(MustLookupScenario("small")), WithVantages("Idea", "MTNL"))
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	domains := s.PBWDomains()[:3]
+	dnsM, _ := Lookup("dns")
+	httpM, _ := Lookup("http")
+	c := Campaign{Domains: domains, Measurements: []Measurement{dnsM, httpM}}
+
+	capture := func(workers int) map[string][]byte {
+		t.Helper()
+		dir := t.TempDir()
+		st, err := s.Run(context.Background(), c, WithWorkers(workers), WithPcap(dir))
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		results, err := st.Collect()
+		if err != nil {
+			t.Fatalf("Collect(workers=%d): %v", workers, err)
+		}
+		for _, r := range results {
+			if r.Error != "" {
+				t.Fatalf("workers=%d: result error: %s", workers, r.Error)
+			}
+		}
+		files := map[string][]byte{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[e.Name()] = b
+		}
+		return files
+	}
+
+	serial := capture(1)
+	parallel := capture(4)
+	again := capture(4) // pooled replicas, post-Reset
+
+	// One file per (vantage, measurement) task.
+	want := []string{"Idea_dns.pcap", "Idea_http.pcap", "MTNL_dns.pcap", "MTNL_http.pcap"}
+	if len(serial) != len(want) {
+		t.Fatalf("serial run produced %d files, want %d: %v", len(serial), len(want), keys(serial))
+	}
+	for _, name := range want {
+		base, ok := serial[name]
+		if !ok {
+			t.Fatalf("missing capture %s", name)
+		}
+		if len(base) <= 24 {
+			t.Errorf("%s: only the global header (%d bytes), no packets", name, len(base))
+		}
+		if base[0] != 0xd4 || base[1] != 0xc3 || base[2] != 0xb2 || base[3] != 0xa1 {
+			t.Errorf("%s: bad little-endian pcap magic % x", name, base[:4])
+		}
+		if !bytes.Equal(base, parallel[name]) {
+			t.Errorf("%s differs between workers=1 and workers=4", name)
+		}
+		if !bytes.Equal(base, again[name]) {
+			t.Errorf("%s differs between fresh and pooled (reset) replicas", name)
+		}
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestWithPcapFailFast pins the option's contract: an unusable directory
+// is an error at option-application time, not a silent mid-campaign loss.
+func TestWithPcapFailFast(t *testing.T) {
+	if _, err := NewSession(context.Background(),
+		WithScenario(MustLookupScenario("small")), WithPcap("")); err == nil {
+		t.Error("WithPcap(\"\") accepted")
+	}
+	// A path whose parent is a regular file cannot be created.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(context.Background(),
+		WithScenario(MustLookupScenario("small")), WithPcap(filepath.Join(f, "sub"))); err == nil {
+		t.Error("WithPcap under a regular file accepted")
+	}
+}

@@ -25,6 +25,7 @@
 //	censorscan -scenario my_world.json -workers 8 > results.jsonl
 //	censorscan -quick -measure dns -push http://localhost:8080 > results.jsonl
 //	censorscan -quick -campaign -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+//	censorscan -quick -measure dns,http -domains 10 -pcap captures/ > results.jsonl
 //
 // -push POSTs the finished campaign's JSONL to a running censord
 // (cmd/censord) so batch runs land in the observatory's store.
@@ -68,6 +69,7 @@ func main() {
 	push := flag.String("push", "", "POST the finished campaign's JSONL results to a running censord at this base URL")
 	timeout := flag.Duration("timeout", 3*time.Second, "per-probe network timeout")
 	seed := flag.Int64("seed", 0, "override the world seed (0 = calibrated default)")
+	pcapDir := flag.String("pcap", "", "write one .pcap per campaign task (vantage client's packets) into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -88,7 +90,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "censorscan: -quick and -scenario both pick the world; use one")
 		os.Exit(2)
 	}
-	for _, name := range []string{"workers", "isps", "measure", "domains", "format", "push", "load"} {
+	for _, name := range []string{"workers", "isps", "measure", "domains", "format", "push", "load", "pcap"} {
 		if !set[name] {
 			continue
 		}
@@ -180,6 +182,12 @@ func main() {
 	opts := []censor.Option{censor.WithScenario(world), censor.WithTimeout(*timeout)}
 	if *seed != 0 {
 		opts = append(opts, censor.WithSeed(*seed))
+	}
+	if *pcapDir != "" {
+		// WithPcap probes the directory when applied, so — like
+		// -cpuprofile's os.Create above — an unusable path fails here,
+		// before the world build, not after a full campaign.
+		opts = append(opts, censor.WithPcap(*pcapDir))
 	}
 	if vantages := cliutil.SplitList(*isps); len(vantages) > 0 {
 		opts = append(opts, censor.WithVantages(vantages...))

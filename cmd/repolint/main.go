@@ -6,7 +6,10 @@
 //	hotpathalloc    no per-call allocation patterns in //repolint:hotpath funcs
 //	timerbyvalue    no *sim.Timer anywhere; the handle is value-only
 //	sinkcontract    no goroutines or package-level mutation in Sink.Write
-//	apisurface      no repro/internal types in censor's and monitor's surface
+//	apisurface      no repro/internal types in the public censor, monitor,
+//	                and netbridge surfaces
+//	bridgeboundary  sim-package calls in bridge packages only from
+//	                //repolint:pump functions
 //
 // Usage:
 //
@@ -30,6 +33,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/apisurface"
+	"repro/internal/analysis/bridgeboundary"
 	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/simdeterminism"
 	"repro/internal/analysis/sinkcontract"
@@ -43,6 +47,7 @@ var suite = []*analysis.Analyzer{
 	timerbyvalue.Analyzer,
 	sinkcontract.Analyzer,
 	apisurface.Analyzer,
+	bridgeboundary.Analyzer,
 }
 
 // vetChecks is the curated go vet subset run under -vet: the analyses

@@ -51,7 +51,21 @@
 // property the netsim zero-alloc test and the CI benchmark gate pin
 // down. See README.md's Performance section.
 //
-// Four of those design contracts are mechanically enforced by the
+// The netbridge package opens the simulated internet to real code: it
+// seats userspace endpoints on bridge hosts inside the vantage ISPs and
+// exposes them as net.Conn / net.Listener / a DialContext for
+// http.Transport, so unmodified Go networking code experiences the
+// censors first-hand. A single pump goroutine owns the engine and
+// advances virtual time while application goroutines block; every sim
+// touch crosses a serialized boundary (the bridgeboundary analyzer
+// keeps it that way). Flows can be captured to classic .pcap files with
+// virtual timestamps — netbridge.PcapSink on a bridge dialer, or
+// censor.WithPcap / censorscan -pcap for deterministic per-task campaign
+// captures. The bridge edge itself is deliberately outside the
+// determinism contract: wall-clock scheduling decides how real
+// goroutines interleave with virtual time.
+//
+// The design contracts above are mechanically enforced by the
 // repolint analyzer suite (internal/analysis, driven by cmd/repolint and
 // run in CI before the tests):
 //
@@ -67,8 +81,11 @@
 //     goroutines and mutate no package-level state — Stream.Drain is the
 //     serialization point (sinkcontract).
 //   - Clean surface: no repro/internal type appears in the exported API
-//     of censor or monitor, except the three waived oracle hatches
-//     (apisurface).
+//     of censor, monitor or netbridge, except the waived oracle and
+//     bridge hatches (apisurface).
+//   - Bridge boundary: in netbridge, only functions marked
+//     //repolint:pump — the ones the pump goroutine runs — may call into
+//     the simulation packages (bridgeboundary).
 //
 // Deliberate exceptions carry //repolint:allow <key> -- <reason> waivers
 // in the source they except; stale waivers are themselves findings.

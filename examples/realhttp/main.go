@@ -1,0 +1,159 @@
+// Real sockets against the simulated censors: netbridge seats actual Go
+// networking code on simulated vantage hosts, so an unmodified
+// net/http.Client experiences India's 2018 censorship exactly as the
+// paper's probes did. Two demonstrations: (1) an HTTP GET from an Idea
+// subscriber to a blocklisted domain, answered by the interceptive
+// middlebox's block page; (2) a DNS lookup through MTNL's poisoned
+// default resolver, whose forged answer leads to an address that never
+// completes a TCP handshake. The whole exchange is captured to
+// realhttp.pcap — virtual timestamps, openable in Wireshark.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/censor"
+	"repro/internal/ispnet"
+	"repro/netbridge"
+)
+
+// blockPageMarker is the Idea middlebox's notification text (paper §5,
+// style B: "blocked under instructions of a competent Government
+// Authority").
+const blockPageMarker = "This URL has been blocked under instructions of a"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "realhttp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	sess, err := censor.NewSession(ctx,
+		censor.WithScenario(censor.MustLookupScenario("paper-2018")))
+	if err != nil {
+		return err
+	}
+
+	// Consult the ground-truth oracle before the bridge opens: the bridge
+	// holds the session's world for its lifetime.
+	w := sess.World()
+	blocked := filteredDomain(w, "Idea")
+	poisonedISP, poisonedDomain := poisonedLookup(w)
+	if blocked == "" || poisonedISP == "" {
+		return fmt.Errorf("scenario %q lost its censored domains", "paper-2018")
+	}
+
+	bridge, err := netbridge.New(sess)
+	if err != nil {
+		return err
+	}
+	defer bridge.Close()
+
+	// 1: unmodified net/http.Client behind an Idea subscriber line.
+	dialer, err := bridge.Dialer("Idea")
+	if err != nil {
+		return err
+	}
+	pcapFile, err := os.Create("realhttp.pcap")
+	if err != nil {
+		return err
+	}
+	defer pcapFile.Close()
+	sink, err := netbridge.NewPcapSink(pcapFile)
+	if err != nil {
+		return err
+	}
+	if err := dialer.CaptureTo(sink); err != nil {
+		return err
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			DialContext:       dialer.DialContext,
+			DisableKeepAlives: true,
+		},
+		Timeout: 30 * time.Second,
+	}
+	fmt.Printf("== GET http://%s/ from an Idea subscriber ==\n", blocked)
+	resp, err := client.Get("http://" + blocked + "/")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  status: %s  (%d bytes, served by %s)\n", resp.Status, len(body), resp.Header.Get("Server"))
+	if strings.Contains(string(body), blockPageMarker) {
+		fmt.Printf("  body:   middlebox block page — %q...\n", blockPageMarker)
+	} else {
+		fmt.Printf("  body:   genuine content (censor missed?)\n")
+	}
+
+	// 2: the poisoned default resolver, through the same real-socket path.
+	fmt.Printf("\n== resolving %s via %s's default resolver ==\n", poisonedDomain, poisonedISP)
+	pd, err := bridge.Dialer(poisonedISP)
+	if err != nil {
+		return err
+	}
+	addrs, err := pd.Resolve(ctx, poisonedDomain)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  answer:   %v (ISP block address %v)\n", addrs, w.ISP(poisonedISP).BlockIP)
+	dialCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if _, err := pd.DialContext(dialCtx, "tcp", addrs[0].String()+":80"); err != nil {
+		fmt.Printf("  dialing it: %v\n", err)
+	} else {
+		fmt.Printf("  dialing it: unexpectedly connected\n")
+	}
+
+	packets, err := sink.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote realhttp.pcap: %d packets from the Idea client's wire\n", packets)
+	return nil
+}
+
+// filteredDomain returns a potentially-blocked domain the named ISP's
+// middlebox filters over HTTP, per the world's ground-truth oracle.
+func filteredDomain(w *ispnet.World, ispName string) string {
+	isp := w.ISP(ispName)
+	for _, d := range w.Catalog.PBWDomains() {
+		if w.TruthFor(isp, d).HTTPFiltered {
+			return d
+		}
+	}
+	return ""
+}
+
+// poisonedLookup finds a DNS-censoring ISP whose default resolver forges
+// answers for some blocklisted domain, and returns both.
+func poisonedLookup(w *ispnet.World) (ispName, domain string) {
+	for _, name := range []string{"MTNL", "BSNL"} {
+		isp := w.ISP(name)
+		for _, r := range isp.Resolvers {
+			if r.Addr() != isp.DefaultResolver {
+				continue
+			}
+			for _, d := range w.Catalog.PBWDomains() {
+				if r.PoisonsDomain(d) {
+					return name, d
+				}
+			}
+		}
+	}
+	return "", ""
+}

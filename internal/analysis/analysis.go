@@ -24,8 +24,11 @@
 //   - sinkcontract: censor.Sink.Write implementations must not spawn
 //     goroutines or mutate package-level state — Stream.Drain serializes
 //     writes.
-//   - apisurface: the public censor and monitor packages must not expose
-//     repro/internal types in their exported signatures.
+//   - apisurface: the public censor, monitor, and netbridge packages must
+//     not expose repro/internal types in their exported signatures.
+//   - bridgeboundary: in bridge packages (netbridge), only functions
+//     marked //repolint:pump may call into the simulation packages — all
+//     other goroutines must reach the sim through the pump.
 //
 // cmd/repolint is the multichecker driver; analysistest runs analyzers
 // over fixture packages with // want expectations.

@@ -1,6 +1,7 @@
-// Package apisurface enforces the clean public surface of the censor and
-// monitor packages: no repro/internal type may appear in an exported
-// signature, exported struct field, exported var, or type declaration.
+// Package apisurface enforces the clean public surface of the censor,
+// monitor, and netbridge packages: no repro/internal type may appear in
+// an exported signature, exported struct field, exported var, or type
+// declaration.
 // The option/scenario layer exists precisely so external callers can
 // build any world from JSON alone; an internal type in the surface would
 // couple them to packages the module forbids them to import.
@@ -26,15 +27,16 @@ var Analyzer = &analysis.Analyzer{
 	Name: "apisurface",
 	Key:  "apisurface",
 	Doc: "forbid repro/internal types in the exported surface of the public " +
-		"censor and monitor packages",
+		"censor, monitor, and netbridge packages",
 	Run: run,
 }
 
 // publicPkgs is the built-in opt-in set; other packages opt in with a
 // //repolint:public file directive.
 var publicPkgs = map[string]bool{
-	"repro/censor":  true,
-	"repro/monitor": true,
+	"repro/censor":    true,
+	"repro/monitor":   true,
+	"repro/netbridge": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -10,3 +10,9 @@ import (
 func TestAPISurface(t *testing.T) {
 	analysistest.Run(t, apisurface.Analyzer, "apileak")
 }
+
+// TestNetbridgeClean pins the newest public package to the surface
+// contract: netbridge exports only stdlib and repro/censor types.
+func TestNetbridgeClean(t *testing.T) {
+	analysistest.RunClean(t, apisurface.Analyzer, "../../../netbridge", "repro/netbridge")
+}

@@ -1,0 +1,122 @@
+// Package bridgeboundary enforces the netbridge concurrency contract:
+// inside a bridge package — a goroutine-driven adapter seating real code
+// on the single-threaded simulation — only functions whose doc comment
+// carries //repolint:pump may call into the simulation packages. Every
+// other function runs (or may run) on a foreign goroutine and must reach
+// the sim by submitting a closure to the pump, never by calling it
+// directly; a direct call is a data race against the engine.
+//
+// repro/netbridge is covered by construction; other packages opt in with
+// a //repolint:bridge file marker. Calls into passive data packages
+// (netpkt, dnswire, pcapwire) are fine anywhere — they hold no engine
+// state. Function literals inherit the pump-ness of the declaration that
+// lexically encloses them: a closure built inside a plain function is
+// assumed to run wherever that function runs, and the common pattern of
+// handing such a closure to the pump is expressed by putting the sim
+// calls in a separate pump-marked method instead.
+package bridgeboundary
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the bridge-boundary contract check.
+var Analyzer = &analysis.Analyzer{
+	Name: "bridgeboundary",
+	Key:  "bridgeboundary",
+	Doc:  "sim-package calls in bridge packages must sit in //repolint:pump functions",
+	Run:  run,
+}
+
+// bridgePkgs are covered without a marker.
+var bridgePkgs = map[string]bool{
+	"repro/netbridge": true,
+}
+
+// simPkgs hold live engine state and may only be touched from the pump.
+// The passive wire/data packages (netpkt, dnswire, pcapwire) are absent
+// deliberately: encoding a packet or writing a pcap record is safe from
+// any goroutine.
+var simPkgs = map[string]bool{
+	"repro/internal/sim":        true,
+	"repro/internal/netsim":     true,
+	"repro/internal/tcpsim":     true,
+	"repro/internal/dnssim":     true,
+	"repro/internal/websim":     true,
+	"repro/internal/ispnet":     true,
+	"repro/internal/middlebox":  true,
+	"repro/internal/trafficgen": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !bridgePkgs[pass.Pkg.Path()] && !pass.Dirs.Marked("bridge") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil || analysis.PumpFunc(d) {
+					continue
+				}
+				checkBody(pass, d.Body, d.Name.Name)
+			case *ast.GenDecl:
+				// Package-level initializers (including func literals bound
+				// to vars) never run on the pump.
+				checkBody(pass, d, "package initializer")
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody reports every call into a sim package found under n, which is
+// known not to be pump context.
+func checkBody(pass *analysis.Pass, n ast.Node, where string) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := callee(pass, call)
+		if !ok {
+			return true
+		}
+		pkg := fn.Pkg()
+		if pkg == nil || !simPkgs[pkg.Path()] {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call to %s.%s outside a //repolint:pump function (in %s): simulation state may only be touched on the pump goroutine",
+			shortPath(pkg.Path()), fn.Name(), where)
+		return true
+	})
+}
+
+// callee resolves a call expression to the *types.Func it invokes, if the
+// callee is a named function or method. Calls through function-typed
+// values (fields, parameters) resolve to variables, not funcs, and are
+// skipped: the boundary is drawn where sim identifiers are named.
+func callee(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn, ok
+}
+
+func shortPath(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

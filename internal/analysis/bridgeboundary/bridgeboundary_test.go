@@ -1,0 +1,18 @@
+package bridgeboundary_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bridgeboundary"
+)
+
+func TestBridgeBoundary(t *testing.T) {
+	analysistest.Run(t, bridgeboundary.Analyzer, "bridgeleak")
+}
+
+// TestNetbridgeClean pins the real bridge package to the contract: every
+// sim-touching call sits in a //repolint:pump function.
+func TestNetbridgeClean(t *testing.T) {
+	analysistest.RunClean(t, bridgeboundary.Analyzer, "../../../netbridge", "repro/netbridge")
+}

@@ -1,0 +1,73 @@
+// Package bridgeleak is the bridgeboundary fixture: a miniature bridge
+// package that touches the simulation from every context the analyzer
+// must distinguish — pump-marked functions (legal), plain functions and
+// their closures (violations), package initializers (violations), calls
+// through function-typed values (out of scope), and a waived hatch.
+//
+//repolint:bridge
+package bridgeleak
+
+import (
+	"repro/internal/netpkt"
+	"repro/internal/sim"
+)
+
+type bridge struct {
+	eng  *sim.Engine
+	poll func() sim.Time
+}
+
+// pumpStep runs on the pump goroutine and owns the engine.
+//
+//repolint:pump
+func (b *bridge) pumpStep() sim.Time {
+	b.eng.Schedule(1, func() {})
+	return b.eng.Now()
+}
+
+// leak is a plain method: any goroutine may call it, so it must not
+// touch the engine directly.
+func (b *bridge) leak() sim.Time {
+	return b.eng.Now() // want `call to sim\.Now outside a //repolint:pump function \(in leak\)`
+}
+
+// closureLeak shows that a closure inherits its enclosing declaration's
+// context: the literal is built in a plain method, so its body is not
+// pump context either.
+func (b *bridge) closureLeak() func() int {
+	return func() int {
+		return b.eng.Pending() // want `call to sim\.Pending outside a //repolint:pump function \(in closureLeak\)`
+	}
+}
+
+// pumpClosure is the legal version: the whole declaration is pump
+// context, closures included.
+//
+//repolint:pump
+func (b *bridge) pumpClosure() func() int {
+	return func() int { return b.eng.Pending() }
+}
+
+// initLeak demonstrates that package-level initializers are never pump
+// context.
+var initLeak = func(e *sim.Engine) sim.Time {
+	return e.Now() // want `call to sim\.Now outside a //repolint:pump function \(in package initializer\)`
+}
+
+// indirect calls through function-typed values are out of scope: the
+// boundary is drawn where sim identifiers are named.
+func (b *bridge) indirect() sim.Time { return b.poll() }
+
+// passive data packages are safe from any goroutine.
+func encode() int {
+	var p netpkt.Packet
+	raw, _ := p.Marshal()
+	return len(raw)
+}
+
+// waived keeps one documented exception alive so the suppression path is
+// exercised.
+func (b *bridge) waived() int {
+	//repolint:allow bridgeboundary -- fixture: documented off-pump read for the waiver path
+	return b.eng.Pending()
+}

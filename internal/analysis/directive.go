@@ -27,6 +27,16 @@ import (
 //	//repolint:public
 //	    Anywhere in a file: marks the package as public API surface,
 //	    opting it into apisurface.
+//
+//	//repolint:pump
+//	    In a function's doc comment: marks the function as running on a
+//	    bridge pump goroutine, where calling into the simulation packages
+//	    is legal. Checked by bridgeboundary.
+//
+//	//repolint:bridge
+//	    Anywhere in a file: marks the package as a bridge between real
+//	    goroutines and the simulation, opting it into bridgeboundary.
+//	    repro/netbridge is built in; the marker exists for fixtures.
 const directivePrefix = "//repolint:"
 
 // Allow is one parsed //repolint:allow directive.
@@ -53,12 +63,17 @@ type Directives struct {
 func (d *Directives) Marked(name string) bool { return d.marks[name] }
 
 // HotpathFunc reports whether fn's doc comment carries //repolint:hotpath.
-func HotpathFunc(fn *ast.FuncDecl) bool {
+func HotpathFunc(fn *ast.FuncDecl) bool { return funcMarked(fn, "hotpath") }
+
+// PumpFunc reports whether fn's doc comment carries //repolint:pump.
+func PumpFunc(fn *ast.FuncDecl) bool { return funcMarked(fn, "pump") }
+
+func funcMarked(fn *ast.FuncDecl, verb string) bool {
 	if fn.Doc == nil {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if strings.TrimSpace(c.Text) == directivePrefix+"hotpath" {
+		if strings.TrimSpace(c.Text) == directivePrefix+verb {
 			return true
 		}
 	}
@@ -83,7 +98,7 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, knownKeys map[strin
 				rest := strings.TrimPrefix(text, directivePrefix)
 				verb, arg, _ := strings.Cut(rest, " ")
 				switch verb {
-				case "hotpath", "deterministic", "public":
+				case "hotpath", "deterministic", "public", "pump", "bridge":
 					if strings.TrimSpace(arg) != "" {
 						d.malformed = append(d.malformed, Diagnostic{
 							Analyzer: "repolint", Pos: pos,

@@ -715,5 +715,26 @@ func (w *World) deployBox(isp *ISP, id string, router *netsim.Router, kind Censo
 // BoxesAt returns the middleboxes deployed at a router.
 func (w *World) BoxesAt(r *netsim.Router) []*BoxRef { return w.boxesByRouter[r.ID] }
 
+// AttachBridgeHost seats a bridge-owned host on the ISP's client edge — the
+// same access router, latency and routing position as the measurement
+// client, so bridge traffic crosses the same middleboxes. Addresses come
+// from the .0.210+ slot range the builder leaves free (client .0.100,
+// resolvers .0.10+, background generators .e.200); slots are reclaimed when
+// DetachBridgeHost removes the host. The host carries no handlers — callers
+// seat their own stacks.
+func (w *World) AttachBridgeHost(isp *ISP) (*netsim.Host, error) {
+	for k := 0; k < 40; k++ {
+		addr := netip.AddrFrom4([4]byte{isp.Base1, isp.Base2, 0, byte(210 + k)})
+		if _, ok := w.Net.Host(addr); !ok {
+			return w.Net.AddHost(addr, isp.Edges[0], time.Millisecond), nil
+		}
+	}
+	return nil, fmt.Errorf("ispnet: %s: no free bridge host slots (40 in use)", isp.Name)
+}
+
+// DetachBridgeHost removes a bridge-owned host seated by AttachBridgeHost,
+// freeing its address slot.
+func (w *World) DetachBridgeHost(h *netsim.Host) { w.Net.RemoveHost(h) }
+
 // ISP returns a built ISP by name.
 func (w *World) ISP(name string) *ISP { return w.ISPs[name] }

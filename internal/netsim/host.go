@@ -60,6 +60,11 @@ type Host struct {
 
 	capturing bool
 	captures  []Captured
+	// tap is the persistent capture hook (pcap writers): unlike the
+	// Start/StopCapture window — which probes open and close around their
+	// own flows — it observes every packet until cleared or the runtime
+	// baseline is restored.
+	tap PacketTap
 
 	// baseline is the handler registration captured by MarkBaseline — the
 	// pristine build-time state RestoreBaseline rewinds to.
@@ -88,6 +93,12 @@ func (n *Network) AddHost(addr netip.Addr, r *Router, accessLatency time.Duratio
 	n.hosts[addr] = h
 	return h
 }
+
+// RemoveHost detaches a host from the network: packets to its address fall
+// back to prefix routing (usually a claimed-prefix drop). It exists for
+// bridge-owned endpoints seated after Build and removed with their
+// bridge's lifecycle; build-time hosts are permanent.
+func (n *Network) RemoveHost(h *Host) { delete(n.hosts, h.addr) }
 
 // Addr returns the host's address.
 func (h *Host) Addr() netip.Addr { return h.addr }
@@ -164,7 +175,20 @@ func (h *Host) RestoreBaseline() {
 	h.filter = h.baseline.filter
 	h.capturing = false
 	h.captures = nil
+	h.tap = nil
 }
+
+// PacketTap observes one packet crossing a host. The packet is live
+// simulator state: an outbound one mutates in flight (per-hop TTL
+// decrement), so a tap that keeps bytes must serialize or copy during the
+// call.
+type PacketTap func(at sim.Time, dir Direction, pkt *netpkt.Packet)
+
+// SetTap installs (or clears, with nil) the host's persistent capture tap.
+// The tap runs for every packet in and out of the host, independent of the
+// Start/StopCapture window, so a pcap writer keeps recording across the
+// capture windows probes open for themselves. RestoreBaseline clears it.
+func (h *Host) SetTap(fn PacketTap) { h.tap = fn }
 
 // StartCapture begins recording all packets in and out of the host.
 func (h *Host) StartCapture() {
@@ -185,6 +209,9 @@ func (h *Host) Captures() []Captured { return h.captures }
 
 //repolint:hotpath
 func (h *Host) capture(dir Direction, pkt *netpkt.Packet) {
+	if h.tap != nil {
+		h.tap(h.net.eng.Now(), dir, pkt)
+	}
 	if !h.capturing {
 		return
 	}

@@ -1,0 +1,139 @@
+// Package pcapwire writes classic libpcap capture files of simulated
+// flows, using only the standard library. The format is the original
+// 24-byte-global-header pcap (magic 0xa1b2c3d4, version 2.4) with
+// LINKTYPE_RAW records — each packet is the raw IPv4 wire image produced
+// by netpkt's marshaller, so Wireshark opens the files directly and
+// dissects TCP/UDP/ICMP and the HTTP payloads inside.
+//
+// Timestamps are the simulation's virtual clock, seconds/microseconds
+// from time zero. That is deliberate: a capture of the same scenario and
+// seed is byte-identical run to run, which is what lets the campaign
+// layer treat .pcap files as golden artifacts.
+package pcapwire
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/netpkt"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+const (
+	// Magic is the classic pcap magic (microsecond timestamps). Written
+	// little-endian; readers detect byte order from it.
+	Magic = 0xa1b2c3d4
+	// VersionMajor and VersionMinor are the only version ever deployed.
+	VersionMajor = 2
+	VersionMinor = 4
+	// LinkTypeRaw is LINKTYPE_RAW: each record starts at the IP header.
+	LinkTypeRaw = 101
+	// SnapLen is the advertised snapshot length; records are never
+	// truncated (simulated packets are far smaller).
+	SnapLen = 65535
+)
+
+// Writer emits one pcap stream: the global header at construction, then
+// one 16-byte record header plus raw packet bytes per WritePacket. It is
+// not safe for concurrent use; the sim side is single-threaded anyway.
+type Writer struct {
+	w       io.Writer
+	scratch []byte // reused marshal buffer
+	packets int
+	err     error // first write error, sticky
+}
+
+func putU16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// NewWriter writes the global header and returns the record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [24]byte
+	putU32(hdr[0:], Magic)
+	putU16(hdr[4:], VersionMajor)
+	putU16(hdr[6:], VersionMinor)
+	// thiszone and sigfigs stay zero (UTC, no extra precision).
+	putU32(hdr[16:], SnapLen)
+	putU32(hdr[20:], LinkTypeRaw)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w}, nil
+}
+
+// WriteRaw writes one record of pre-marshalled wire bytes stamped with the
+// virtual time at.
+func (pw *Writer) WriteRaw(at sim.Time, raw []byte) error {
+	if pw.err != nil {
+		return pw.err
+	}
+	d := time.Duration(at)
+	var hdr [16]byte
+	putU32(hdr[0:], uint32(d/time.Second))
+	putU32(hdr[4:], uint32(d%time.Second/time.Microsecond))
+	putU32(hdr[8:], uint32(len(raw)))
+	putU32(hdr[12:], uint32(len(raw)))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		pw.err = err
+		return err
+	}
+	if _, err := pw.w.Write(raw); err != nil {
+		pw.err = err
+		return err
+	}
+	pw.packets++
+	return nil
+}
+
+// WritePacket marshals pkt to its IPv4 wire image and writes one record.
+// The packet is serialized during the call, so live (still-mutating)
+// simulator packets are safe to pass.
+func (pw *Writer) WritePacket(at sim.Time, pkt *netpkt.Packet) error {
+	if pw.err != nil {
+		return pw.err
+	}
+	out, err := pkt.AppendMarshal(pw.scratch[:0])
+	if err != nil {
+		pw.err = err
+		return err
+	}
+	pw.scratch = out
+	return pw.WriteRaw(at, out)
+}
+
+// Packets returns how many records were written.
+func (pw *Writer) Packets() int { return pw.packets }
+
+// Err returns the sticky first error, if any.
+func (pw *Writer) Err() error { return pw.err }
+
+// Tap adapts the writer into a netsim host tap: install with Host.SetTap
+// to record every packet crossing the host. Write errors stick and are
+// surfaced by Err when the capture is collected.
+func (pw *Writer) Tap() netsim.PacketTap {
+	return func(at sim.Time, _ netsim.Direction, pkt *netpkt.Packet) {
+		_ = pw.WritePacket(at, pkt)
+	}
+}
+
+// WriteCaptures writes a complete pcap file from a Start/StopCapture
+// record list.
+func WriteCaptures(w io.Writer, recs []netsim.Captured) error {
+	pw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := pw.WritePacket(r.At, r.Pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

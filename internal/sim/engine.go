@@ -292,6 +292,11 @@ func (e *Engine) peek() (Time, bool) {
 	return 0, false
 }
 
+// NextAt returns the virtual time of the earliest pending event, or false
+// when the queue is empty. Pump loops use it to size run slices without
+// stepping blind through empty stretches of virtual time.
+func (e *Engine) NextAt() (Time, bool) { return e.peek() }
+
 // step executes the earliest pending event. It reports false when the queue
 // is empty.
 //

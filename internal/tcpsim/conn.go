@@ -20,9 +20,25 @@ type Conn struct {
 	state  State
 	iss    uint32 // initial send sequence
 	sndNxt uint32 // next sequence to send
+	sndUna uint32 // oldest unacknowledged sequence (cumulative-ACK left edge)
 	rcvNxt uint32 // next sequence expected
 
 	recvBuf []byte
+	// readOff is the consuming read cursor into recvBuf: bytes before it
+	// were handed out through ReadStream/Consume and may be discarded by
+	// compaction. Probe-style callers that never Consume keep it at zero,
+	// which is what keeps Stream() meaning "everything received".
+	readOff int
+	// peerWnd is the window the remote advertised on its last segment.
+	peerWnd uint16
+	// recvWindow, when positive, bounds the advertised receive window to
+	// recvWindow minus the unconsumed bytes (long-lived bridge connections
+	// push back on senders instead of buffering without bound). Zero keeps
+	// the historical fixed 65535 advertisement.
+	recvWindow int
+	// lastWnd is the window value of our most recent segment, so Consume
+	// knows when a zero-window it advertised has reopened.
+	lastWnd uint16
 	// peerFIN records that the remote (or something forging it) closed the
 	// stream, and finSeen the virtual time it happened.
 	peerFIN bool
@@ -34,6 +50,12 @@ type Conn struct {
 	// OnData fires whenever new in-order payload is appended to the
 	// receive buffer (and on FIN). Servers parse requests from here.
 	OnData func(*Conn)
+	// OnStateChange fires after every state transition — the completion
+	// hook blocking bridge APIs (connect, accept, close) wait on.
+	OnStateChange func(*Conn)
+	// OnAck fires when the cumulative ACK advances, opening send window —
+	// the hook bridge writers block on for backpressure.
+	OnAck func(*Conn)
 
 	// DupAcks counts out-of-order segments answered with duplicate ACKs.
 	DupAcks int
@@ -63,8 +85,69 @@ func (c *Conn) RemoteAddr() netip.Addr { return c.remoteAddr }
 // RemotePort returns the remote port.
 func (c *Conn) RemotePort() uint16 { return c.remotePort }
 
-// Stream returns the bytes received in order so far.
+// Stream returns the bytes received in order so far. On connections whose
+// owner consumes via ReadStream/Consume the retained prefix may have been
+// compacted away; probe-style callers that never Consume always see the
+// full stream from byte zero.
 func (c *Conn) Stream() []byte { return c.recvBuf }
+
+// ReadStream returns the received bytes not yet consumed by Consume. It is
+// the read-cursor view bridge connections drain from, leaving Stream() to
+// the callers that want the whole history.
+func (c *Conn) ReadStream() []byte { return c.recvBuf[c.readOff:] }
+
+// Buffered returns how many received bytes are waiting to be consumed.
+func (c *Conn) Buffered() int { return len(c.recvBuf) - c.readOff }
+
+// Consume advances the read cursor past n bytes previously returned by
+// ReadStream. Once the consumed prefix dominates the buffer it is
+// compacted in place, so a long-lived connection holds only its unread
+// tail. If consuming reopens a zero receive window it advertised, a
+// window-update ACK is sent so a blocked peer resumes.
+func (c *Conn) Consume(n int) {
+	if n < 0 || n > c.Buffered() {
+		panic(fmt.Sprintf("tcpsim: Consume(%d) with %d buffered", n, c.Buffered()))
+	}
+	c.readOff += n
+	if c.readOff >= 4096 && c.readOff*2 >= len(c.recvBuf) {
+		m := copy(c.recvBuf, c.recvBuf[c.readOff:])
+		c.recvBuf = c.recvBuf[:m]
+		c.readOff = 0
+	}
+	if c.recvWindow > 0 && c.lastWnd == 0 && c.advertWindow() > 0 && !c.Dead() {
+		c.sendAck()
+	}
+}
+
+// SetRecvWindow bounds the window this side advertises to n minus the
+// unconsumed bytes (n ≤ 0 restores the fixed 65535 advertisement). The
+// simulated stack never drops in-window data, so the bound is cooperative:
+// it throttles peers that honour the advertised window — bridge writers do
+// — rather than hard-limiting the buffer.
+func (c *Conn) SetRecvWindow(n int) { c.recvWindow = n }
+
+// advertWindow computes the receive window for outgoing segments.
+func (c *Conn) advertWindow() uint16 {
+	if c.recvWindow <= 0 {
+		return 65535
+	}
+	w := c.recvWindow - c.Buffered()
+	if w <= 0 {
+		return 0
+	}
+	if w > 65535 {
+		w = 65535
+	}
+	return uint16(w)
+}
+
+// InFlight returns how many sequence units (payload bytes plus SYN/FIN)
+// have been sent but not cumulatively acknowledged.
+func (c *Conn) InFlight() int { return int(int32(c.sndNxt - c.sndUna)) }
+
+// PeerWindow returns the window the remote advertised on its most recent
+// segment.
+func (c *Conn) PeerWindow() int { return int(c.peerWnd) }
 
 // PeerClosed reports whether a FIN was accepted from the remote side.
 func (c *Conn) PeerClosed() bool { return c.peerFIN }
@@ -101,11 +184,23 @@ func (c *Conn) sendSegment(seg *netpkt.TCPSegment, ttl uint8, ipid uint16) {
 	c.stack.host.Send(pkt)
 }
 
+// setState transitions the connection state and fires OnStateChange.
+func (c *Conn) setState(s State) {
+	if c.state == s {
+		return
+	}
+	c.state = s
+	if c.OnStateChange != nil {
+		c.OnStateChange(c)
+	}
+}
+
 // Send transmits payload as one PSH+ACK segment, advancing sndNxt.
 func (c *Conn) Send(payload []byte) {
+	c.lastWnd = c.advertWindow()
 	c.sendSegment(&netpkt.TCPSegment{
 		Flags: netpkt.PSH | netpkt.ACK, Seq: c.sndNxt, Ack: c.rcvNxt,
-		Window: 65535, Payload: payload,
+		Window: c.lastWnd, Payload: payload,
 	}, 0, 0)
 	c.sndNxt += uint32(len(payload))
 }
@@ -159,14 +254,15 @@ func (c *Conn) SendRaw(payload []byte, o RawOpts) {
 func (c *Conn) Close() {
 	switch c.state {
 	case StateEstablished:
-		c.state = StateFinWait1
+		c.setState(StateFinWait1)
 	case StateCloseWait:
-		c.state = StateLastAck
+		c.setState(StateLastAck)
 	default:
 		return
 	}
+	c.lastWnd = c.advertWindow()
 	c.sendSegment(&netpkt.TCPSegment{
-		Flags: netpkt.FIN | netpkt.ACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: 65535,
+		Flags: netpkt.FIN | netpkt.ACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: c.lastWnd,
 	}, 0, 0)
 	c.sndNxt++
 }
@@ -179,7 +275,7 @@ func (c *Conn) Abort() {
 		return
 	}
 	c.sendSegment(&netpkt.TCPSegment{Flags: netpkt.RST, Seq: c.sndNxt}, 0, 0)
-	c.state = StateClosed
+	c.setState(StateClosed)
 	c.stack.remove(c)
 }
 
@@ -199,23 +295,35 @@ func (c *Conn) handleSegment(seg *netpkt.TCPSegment) {
 		}
 		if ok {
 			c.resetBy = seg
-			c.state = StateReset
+			c.setState(StateReset)
 			c.stack.remove(c)
 		}
 		return
+	}
+
+	// Window and cumulative-ACK accounting, before any state handling:
+	// every non-RST segment refreshes the peer's advertised window, and an
+	// in-range ACK advances the unacknowledged left edge (opening send
+	// window for backpressured bridge writers).
+	c.peerWnd = seg.Window
+	if seg.Flags.Has(netpkt.ACK) && seqLE(c.sndUna, seg.Ack) && seqLE(seg.Ack, c.sndNxt) && seg.Ack != c.sndUna {
+		c.sndUna = seg.Ack
+		if c.OnAck != nil {
+			c.OnAck(c)
+		}
 	}
 
 	switch c.state {
 	case StateSynSent:
 		if seg.Flags.Has(netpkt.SYN|netpkt.ACK) && seg.Ack == c.sndNxt {
 			c.rcvNxt = seg.Seq + 1
-			c.state = StateEstablished
+			c.setState(StateEstablished)
 			c.sendAck()
 		}
 		return
 	case StateSynRcvd:
 		if seg.Flags.Has(netpkt.ACK) && seg.Ack == c.sndNxt {
-			c.state = StateEstablished
+			c.setState(StateEstablished)
 			if c.onAccept != nil {
 				c.onAccept(c)
 			}
@@ -234,11 +342,11 @@ func (c *Conn) handleSegment(seg *netpkt.TCPSegment) {
 	if seg.Flags.Has(netpkt.ACK) && seg.Ack == c.sndNxt {
 		switch c.state {
 		case StateFinWait1:
-			c.state = StateFinWait2
+			c.setState(StateFinWait2)
 		case StateClosing:
 			c.enterTimeWait()
 		case StateLastAck:
-			c.state = StateClosed
+			c.setState(StateClosed)
 			c.stack.remove(c)
 			return
 		}
@@ -269,9 +377,9 @@ func (c *Conn) processData(seg *netpkt.TCPSegment) {
 		c.finAt = c.stack.eng.Now()
 		switch c.state {
 		case StateEstablished:
-			c.state = StateCloseWait
+			c.setState(StateCloseWait)
 		case StateFinWait1:
-			c.state = StateClosing
+			c.setState(StateClosing)
 		case StateFinWait2:
 			c.enterTimeWait()
 		}
@@ -283,11 +391,15 @@ func (c *Conn) processData(seg *netpkt.TCPSegment) {
 }
 
 func (c *Conn) sendAck() {
-	c.sendSegment(&netpkt.TCPSegment{Flags: netpkt.ACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: 65535}, 0, 0)
+	c.lastWnd = c.advertWindow()
+	c.sendSegment(&netpkt.TCPSegment{Flags: netpkt.ACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: c.lastWnd}, 0, 0)
 }
 
+// seqLE reports a ≤ b in sequence space (RFC 1982 serial arithmetic).
+func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
+
 func (c *Conn) enterTimeWait() {
-	c.state = StateTimeWait
+	c.setState(StateTimeWait)
 	c.stack.eng.ScheduleCall(time.Second, timeWaitExpire, c, nil)
 }
 
@@ -296,7 +408,7 @@ func (c *Conn) enterTimeWait() {
 func timeWaitExpire(a, _ any) {
 	c := a.(*Conn)
 	if c.state == StateTimeWait {
-		c.state = StateClosed
+		c.setState(StateClosed)
 		c.stack.remove(c)
 	}
 }

@@ -96,8 +96,14 @@ func (s *Stack) Host() *netsim.Host { return s.host }
 // Engine returns the simulation engine.
 func (s *Stack) Engine() *sim.Engine { return s.eng }
 
-// Listen registers an accept callback for a local port.
+// Listen registers an accept callback for a local port. A nil callback
+// unregisters the port (bridge listeners close this way); connections
+// already accepted are unaffected.
 func (s *Stack) Listen(port uint16, onAccept func(*Conn)) {
+	if onAccept == nil {
+		delete(s.listeners, port)
+		return
+	}
 	s.listeners[port] = onAccept
 }
 
@@ -131,6 +137,7 @@ func (s *Stack) Connect(dst netip.Addr, port uint16) *Conn {
 	s.insert(c)
 	c.sendSegment(&netpkt.TCPSegment{Flags: netpkt.SYN, Seq: c.sndNxt, Window: 65535}, 0, 0)
 	c.sndNxt++
+	c.sndUna = c.sndNxt
 	return c
 }
 
@@ -160,9 +167,11 @@ func (s *Stack) handle(pkt *netpkt.Packet) {
 		}
 		c.rcvNxt = pkt.TCP.Seq + 1
 		c.sndNxt = c.iss
+		c.peerWnd = pkt.TCP.Window
 		s.insert(c)
 		c.sendSegment(&netpkt.TCPSegment{Flags: netpkt.SYN | netpkt.ACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: 65535}, 0, 0)
 		c.sndNxt++
+		c.sndUna = c.sndNxt
 		return
 	}
 	// No connection, no listener: stack-level RST (unless it is itself RST).

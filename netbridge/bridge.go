@@ -1,0 +1,296 @@
+package netbridge
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/censor"
+	"repro/internal/ispnet"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// ErrBridgeClosed is returned by operations submitted after Close, and
+// delivered to every goroutine still blocked in one when Close runs.
+var ErrBridgeClosed = errors.New("netbridge: bridge closed")
+
+// Option configures a Bridge.
+type Option func(*Bridge)
+
+// WithLease sets the maximum virtual time the pump advances between
+// waiter sweeps. Smaller leases tighten wake-up latency in virtual time;
+// the default of one millisecond is already below every timing constant
+// in the simulation.
+func WithLease(d time.Duration) Option {
+	return func(b *Bridge) {
+		if d > 0 {
+			b.lease = d
+		}
+	}
+}
+
+// WithDialTimeout sets the default virtual-time bound on connects and DNS
+// resolutions (default 10s). Context deadlines tighten it per call.
+func WithDialTimeout(d time.Duration) Option {
+	return func(b *Bridge) {
+		if d > 0 {
+			b.dialTimeout = d
+		}
+	}
+}
+
+// Bridge owns a censor session's world and runs its engine on a single
+// pump goroutine, exposing real net.Conn / net.Listener endpoints seated
+// on bridge hosts inside the simulated ISPs. Close releases the world
+// back to the session.
+type Bridge struct {
+	world   *ispnet.World
+	release func()
+	eng     *sim.Engine
+
+	lease       time.Duration
+	dialTimeout time.Duration
+
+	calls     chan *call
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+
+	// Everything below is owned by the pump goroutine.
+	waiters map[*waiter]struct{}
+	wake    bool
+	eps     map[string]*endpoint
+}
+
+// call is one closure submitted to the pump. done is closed after fn ran.
+type call struct {
+	fn   func()
+	done chan struct{}
+}
+
+// waiter is a parked blocking operation: ready is polled by the pump
+// after every call and every engine lease; the optional timer bounds the
+// wait in virtual time. Exactly one result is ever sent on ch.
+type waiter struct {
+	ready      func() bool
+	timer      sim.Timer
+	hasTimer   bool
+	timeoutErr error
+	timedOut   bool
+	done       bool
+	ch         chan error
+}
+
+// New acquires sess's world and starts the pump. The session's Measure
+// blocks until Close; campaigns, which run on replica worlds, do not.
+func New(sess *censor.Session, opts ...Option) (*Bridge, error) {
+	world, release := sess.AcquireWorld()
+	b := &Bridge{
+		world:       world,
+		release:     release,
+		eng:         world.Eng,
+		lease:       time.Millisecond,
+		dialTimeout: 10 * time.Second,
+		calls:       make(chan *call),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		waiters:     make(map[*waiter]struct{}),
+		eps:         make(map[string]*endpoint),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	go b.pump()
+	return b, nil
+}
+
+// Close shuts down the pump, fails every blocked operation with
+// ErrBridgeClosed, detaches the bridge hosts, and releases the session
+// world. It is idempotent and safe to call concurrently with any
+// operation.
+func (b *Bridge) Close() error {
+	b.closeOnce.Do(func() {
+		close(b.stop)
+		<-b.done
+		b.release()
+	})
+	return nil
+}
+
+// do submits fn to the pump and blocks until it ran. It is the only way
+// application goroutines reach simulation state; fn must not block.
+func (b *Bridge) do(fn func()) error {
+	c := &call{fn: fn, done: make(chan struct{})}
+	select {
+	case b.calls <- c:
+		<-c.done
+		return nil
+	case <-b.done:
+		return ErrBridgeClosed
+	}
+}
+
+// pump is the bridge's engine-owning goroutine: it alternates between
+// executing submitted calls and advancing virtual time, sweeping waiters
+// after each, and parks on the call channel whenever nothing is blocked
+// or the event queue is empty.
+//
+//repolint:pump
+func (b *Bridge) pump() {
+	defer close(b.done)
+	for {
+		b.drainCalls()
+		select {
+		case <-b.stop:
+			b.shutdown()
+			return
+		default:
+		}
+		b.sweep()
+		if len(b.waiters) == 0 || !b.advance() {
+			// Nothing is waiting, or no event can change anything until a
+			// new call arrives: park.
+			select {
+			case c := <-b.calls:
+				c.fn()
+				close(c.done)
+			case <-b.stop:
+				b.shutdown()
+				return
+			}
+		}
+	}
+}
+
+// drainCalls executes every queued call without blocking.
+func (b *Bridge) drainCalls() {
+	for {
+		select {
+		case c := <-b.calls:
+			c.fn()
+			close(c.done)
+		default:
+			return
+		}
+	}
+}
+
+// shutdown fails all waiters and detaches every endpoint. Runs on the
+// pump, as its last act; after it returns, done closes and no call can
+// rendezvous anymore.
+//
+//repolint:pump
+func (b *Bridge) shutdown() {
+	b.drainCalls()
+	for w := range b.waiters {
+		b.finish(w, ErrBridgeClosed)
+	}
+	for _, ep := range b.eps {
+		ep.detach()
+	}
+}
+
+// advance runs the engine for one lease of virtual time, stopping early
+// when a hook signals a wake, and sweeps the waiters. It reports false
+// when the event queue is empty (virtual time cannot move on its own).
+//
+//repolint:pump
+func (b *Bridge) advance() bool {
+	next, ok := b.eng.NextAt()
+	if !ok {
+		return false
+	}
+	slice := b.lease
+	// Jump empty stretches in one hop: run at least up to the next event.
+	if gap := next.Sub(b.eng.Now()); gap > slice {
+		slice = gap
+	}
+	b.wake = false
+	_ = b.eng.RunUntil(slice, b.wakeCond)
+	b.sweep()
+	return true
+}
+
+func (b *Bridge) wakeCond() bool { return b.wake }
+
+// addWaiter parks a blocking operation. d > 0 arms a virtual-time
+// deadline that resolves the waiter with timeoutErr.
+//
+//repolint:pump
+func (b *Bridge) addWaiter(ready func() bool, d time.Duration, timeoutErr error) *waiter {
+	w := &waiter{ready: ready, ch: make(chan error, 1)}
+	if d > 0 {
+		w.timeoutErr = timeoutErr
+		w.timer = b.eng.Schedule(d, func() {
+			w.timedOut = true
+			b.wake = true
+		})
+		w.hasTimer = true
+	}
+	b.waiters[w] = struct{}{}
+	return w
+}
+
+// sweep resolves every waiter whose condition came true or whose virtual
+// deadline fired.
+//
+//repolint:pump
+func (b *Bridge) sweep() {
+	for w := range b.waiters {
+		switch {
+		case w.ready():
+			b.finish(w, nil)
+		case w.timedOut:
+			b.finish(w, w.timeoutErr)
+		}
+	}
+}
+
+// finish resolves a waiter exactly once with err (nil meaning "ready").
+//
+//repolint:pump
+func (b *Bridge) finish(w *waiter, err error) {
+	if w.done {
+		return
+	}
+	w.done = true
+	if w.hasTimer {
+		w.timer.Stop()
+	}
+	delete(b.waiters, w)
+	w.ch <- err
+}
+
+// waitOn blocks the calling (application) goroutine until the waiter
+// resolves. A non-nil ctx can cancel the wait; cancellation is serialized
+// through the pump, so if the operation wins the race its result stands.
+func (b *Bridge) waitOn(ctx context.Context, w *waiter) error {
+	if ctx == nil {
+		return <-w.ch
+	}
+	select {
+	case err := <-w.ch:
+		return err
+	case <-ctx.Done():
+		cerr := ctx.Err()
+		if err := b.do(func() { b.finish(w, cerr) }); err != nil {
+			return err
+		}
+		return <-w.ch
+	}
+}
+
+// hookConn points a tcpsim connection's event hooks at the pump's wake
+// flag so leases end the moment data, an ACK, or a state change lands.
+//
+//repolint:pump
+func (b *Bridge) hookConn(tc *tcpsim.Conn) {
+	tc.OnData = b.connEvent
+	tc.OnStateChange = b.connEvent
+	tc.OnAck = b.connEvent
+}
+
+//repolint:pump
+func (b *Bridge) connEvent(*tcpsim.Conn) { b.wake = true }

@@ -1,0 +1,277 @@
+package netbridge
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/tcpsim"
+)
+
+// maxSegment is how much payload one bridge Write hands the TCP stack per
+// segment — Ethernet-ish MSS, so captures of bridge traffic look like
+// real flows and middleboxes see realistic segment boundaries.
+const maxSegment = 1460
+
+// Conn is a real net.Conn backed by a simulated TCP connection. Reads and
+// writes block the calling goroutine while the pump advances virtual
+// time; deadlines are wall-clock instants mapped 1:1 onto virtual time at
+// the moment an operation starts (changing a deadline does not interrupt
+// an operation already blocked).
+type Conn struct {
+	b            *Bridge
+	tc           *tcpsim.Conn
+	laddr, raddr net.Addr
+
+	mu      sync.Mutex // guards the deadlines
+	readDL  time.Time
+	writeDL time.Time
+
+	closed bool // pump-owned
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// newConn wraps an established tcpsim connection. Pump context: snapshots
+// the addresses and installs the wake hooks.
+//
+//repolint:pump
+func newConn(b *Bridge, tc *tcpsim.Conn) *Conn {
+	b.hookConn(tc)
+	return &Conn{
+		b:     b,
+		tc:    tc,
+		laddr: &net.TCPAddr{IP: tc.LocalAddr().AsSlice(), Port: int(tc.LocalPort())},
+		raddr: &net.TCPAddr{IP: tc.RemoteAddr().AsSlice(), Port: int(tc.RemotePort())},
+	}
+}
+
+// LocalAddr returns the bridge host's simulated address and port.
+func (c *Conn) LocalAddr() net.Addr { return c.laddr }
+
+// RemoteAddr returns the simulated peer's address and port.
+func (c *Conn) RemoteAddr() net.Addr { return c.raddr }
+
+// deadlineBudget converts an absolute deadline into a virtual-time budget
+// for an operation starting now. expired means the deadline already
+// passed.
+func deadlineBudget(dl time.Time) (budget time.Duration, expired bool) {
+	if dl.IsZero() {
+		return 0, false
+	}
+	r := time.Until(dl)
+	if r <= 0 {
+		return 0, true
+	}
+	return r, false
+}
+
+// Read copies buffered stream bytes, blocking until data, EOF (peer FIN
+// with the buffer drained), a reset, or the read deadline.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for {
+		var (
+			n    int
+			rerr error
+			w    *waiter
+		)
+		err := c.b.do(func() {
+			n, rerr = c.pumpRead(p)
+			if n == 0 && rerr == nil {
+				c.mu.Lock()
+				budget, expired := deadlineBudget(c.readDL)
+				c.mu.Unlock()
+				if expired {
+					rerr = os.ErrDeadlineExceeded
+					return
+				}
+				w = c.b.addWaiter(c.readReady, budget, os.ErrDeadlineExceeded)
+			}
+		})
+		if err != nil {
+			return 0, c.opErr("read", err)
+		}
+		if n > 0 || rerr != nil {
+			return n, c.opErr("read", rerr)
+		}
+		if werr := c.b.waitOn(nil, w); werr != nil {
+			return 0, c.opErr("read", werr)
+		}
+	}
+}
+
+// pumpRead performs one non-blocking read attempt.
+//
+//repolint:pump
+func (c *Conn) pumpRead(p []byte) (int, error) {
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	if buf := c.tc.ReadStream(); len(buf) > 0 {
+		n := copy(p, buf)
+		c.tc.Consume(n)
+		return n, nil
+	}
+	if _, reset := c.tc.WasReset(); reset {
+		return 0, syscall.ECONNRESET
+	}
+	if c.tc.PeerClosed() || c.tc.Dead() {
+		return 0, io.EOF
+	}
+	return 0, nil
+}
+
+// readReady reports whether a read attempt would make progress.
+//
+//repolint:pump
+func (c *Conn) readReady() bool {
+	return c.closed || c.tc.Buffered() > 0 || c.tc.PeerClosed() || c.tc.Dead()
+}
+
+// Write sends p through the simulated connection in MSS-sized segments,
+// blocking on the peer's receive window when it fills.
+func (c *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		chunk := p[total:]
+		if len(chunk) > maxSegment {
+			chunk = chunk[:maxSegment]
+		}
+		var (
+			sent int
+			werr error
+			w    *waiter
+		)
+		err := c.b.do(func() {
+			sent, werr = c.pumpWrite(chunk)
+			if sent == 0 && werr == nil {
+				c.mu.Lock()
+				budget, expired := deadlineBudget(c.writeDL)
+				c.mu.Unlock()
+				if expired {
+					werr = os.ErrDeadlineExceeded
+					return
+				}
+				w = c.b.addWaiter(c.writeReady, budget, os.ErrDeadlineExceeded)
+			}
+		})
+		if err != nil {
+			return total, c.opErr("write", err)
+		}
+		if werr != nil {
+			return total, c.opErr("write", werr)
+		}
+		if sent == 0 {
+			if werr := c.b.waitOn(nil, w); werr != nil {
+				return total, c.opErr("write", werr)
+			}
+			continue
+		}
+		total += sent
+	}
+	return total, nil
+}
+
+// pumpWrite performs one non-blocking send attempt of at most one
+// segment, bounded by the peer's advertised window minus what is already
+// in flight. The payload is copied: the segment lives in the event queue
+// after Write returns and callers are free to reuse their buffer.
+//
+//repolint:pump
+func (c *Conn) pumpWrite(chunk []byte) (int, error) {
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	if _, reset := c.tc.WasReset(); reset {
+		return 0, syscall.ECONNRESET
+	}
+	switch c.tc.State() {
+	case tcpsim.StateEstablished, tcpsim.StateCloseWait:
+	default:
+		return 0, syscall.EPIPE
+	}
+	room := c.tc.PeerWindow() - c.tc.InFlight()
+	if room <= 0 {
+		return 0, nil
+	}
+	n := len(chunk)
+	if n > room {
+		n = room
+	}
+	buf := make([]byte, n)
+	copy(buf, chunk[:n])
+	c.tc.Send(buf)
+	return n, nil
+}
+
+// writeReady reports whether a write attempt would make progress (or fail
+// definitively).
+//
+//repolint:pump
+func (c *Conn) writeReady() bool {
+	if c.closed || c.tc.Dead() || c.tc.PeerWindow()-c.tc.InFlight() > 0 {
+		return true
+	}
+	switch c.tc.State() {
+	case tcpsim.StateEstablished, tcpsim.StateCloseWait:
+		return false
+	}
+	return true
+}
+
+// Close sends FIN (when established) and releases any goroutine blocked
+// on the connection. Double close is a no-op.
+func (c *Conn) Close() error {
+	return c.b.do(func() { c.pumpClose() })
+}
+
+//repolint:pump
+func (c *Conn) pumpClose() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.tc.Close()
+	// Blocked readers and writers observe closed at the next sweep.
+	c.b.wake = true
+}
+
+// SetDeadline sets both read and write deadlines. The zero time clears
+// them. Deadlines apply to operations started after the call.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.mu.Unlock()
+	return nil
+}
+
+// SetReadDeadline sets the read deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline sets the write deadline.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDL = t
+	c.mu.Unlock()
+	return nil
+}
+
+// opErr wraps err in a *net.OpError, passing io.EOF and nil through bare
+// as net.Conn contracts require.
+func (c *Conn) opErr(op string, err error) error {
+	if err == nil || err == io.EOF {
+		return err
+	}
+	return &net.OpError{Op: op, Net: "tcp", Source: c.laddr, Addr: c.raddr, Err: err}
+}

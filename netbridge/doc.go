@@ -1,0 +1,59 @@
+// Package netbridge seats real net.Conn and net.Listener endpoints on the
+// simulated Indian internet, so unmodified standard-library clients —
+// http.Transport above all — talk through the paper's censoring middleboxes
+// as if they were on the wire.
+//
+// # How it works
+//
+// The simulation core is strictly single-threaded: one sim.Engine advances
+// a virtual clock and every packet, timeout, and middlebox race runs as an
+// engine callback on one goroutine. Real sockets are the opposite — many
+// goroutines blocking in Read, Write, and Accept. The bridge reconciles
+// the two with a pump: a single goroutine that owns the engine for the
+// lifetime of the Bridge. Application goroutines never touch simulation
+// state directly; they submit closures over an unbuffered channel and the
+// pump executes them between engine runs, so the deterministic core never
+// sees a foreign goroutine.
+//
+// A blocking operation (Read with an empty buffer, Accept with an empty
+// backlog, a dial awaiting the handshake) registers a waiter: a readiness
+// predicate plus an optional virtual-time deadline. The pump advances the
+// engine in short leases of virtual time — sized by the next pending event
+// so empty stretches are skipped in one hop — and sweeps the waiters after
+// every lease and every submitted call. TCP-level hooks (data arrival,
+// state changes, ACKs) cut a lease short the moment something a waiter
+// could care about happens, so wake-ups land at exact virtual times.
+//
+// # Determinism boundary
+//
+// Everything inside the engine stays deterministic: packet interleavings,
+// middlebox injection races, and timer orders are unchanged, and the
+// .pcap files written by PcapSink use virtual timestamps. What the bridge
+// gives up is *replay* determinism: when real goroutines decide what to
+// send next, the wall-clock scheduler decides when calls reach the pump,
+// so two runs of the same program may interleave their operations against
+// virtual time differently. That is the documented boundary — campaigns
+// and probes keep their byte-identical replays because they never go
+// through a bridge; a bridge session is for interactive, stdlib-driven
+// traffic where fidelity to real socket semantics matters more than
+// replayability.
+//
+// # Usage
+//
+//	sess, _ := censor.NewSession(censor.WithScenario(sc))
+//	bridge, _ := netbridge.New(sess)
+//	defer bridge.Close()
+//
+//	d, _ := bridge.Dialer("Idea")
+//	client := &http.Client{Transport: &http.Transport{
+//		DialContext:       d.DialContext,
+//		DisableKeepAlives: true,
+//	}}
+//	resp, _ := client.Get("http://blocked.example.in/")
+//
+// The Bridge holds the session's world (via censor.Session.AcquireWorld)
+// until Close, so Measure calls on the same session block while a bridge
+// is open.
+//
+//repolint:bridge
+package netbridge

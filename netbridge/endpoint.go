@@ -1,0 +1,289 @@
+package netbridge
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/dnssim"
+	"repro/internal/dnswire"
+	"repro/internal/ispnet"
+	"repro/internal/netsim"
+	"repro/internal/tcpsim"
+)
+
+// endpoint is one bridge host seated inside a vantage ISP: a netsim host
+// on the ISP's access edge with a TCP stack and a DNS client. Endpoints
+// are created lazily per vantage and live until the bridge closes. All
+// fields are pump-owned after construction except addr, which is
+// immutable.
+type endpoint struct {
+	b     *Bridge
+	name  string
+	isp   *ispnet.ISP
+	host  *netsim.Host
+	stack *tcpsim.Stack
+	dns   *dnssim.Client
+	addr  netip.Addr
+}
+
+// pumpEndpoint returns the vantage's endpoint, attaching a bridge host on
+// first use.
+//
+//repolint:pump
+func (b *Bridge) pumpEndpoint(vantage string) (*endpoint, error) {
+	if ep, ok := b.eps[vantage]; ok {
+		return ep, nil
+	}
+	isp := b.world.ISP(vantage)
+	if isp == nil {
+		return nil, fmt.Errorf("netbridge: unknown vantage ISP %q", vantage)
+	}
+	host, err := b.world.AttachBridgeHost(isp)
+	if err != nil {
+		return nil, err
+	}
+	ep := &endpoint{
+		b:     b,
+		name:  vantage,
+		isp:   isp,
+		host:  host,
+		stack: tcpsim.NewStack(host),
+		dns:   dnssim.NewClient(host),
+		addr:  host.Addr(),
+	}
+	b.eps[vantage] = ep
+	return ep, nil
+}
+
+// detach removes the endpoint's host from the simulated network. Pump
+// context, called from shutdown.
+//
+//repolint:pump
+func (ep *endpoint) detach() {
+	ep.host.SetTap(nil)
+	ep.b.world.DetachBridgeHost(ep.host)
+}
+
+// Dialer dials TCP connections from one vantage ISP's bridge endpoint,
+// resolving names through that ISP's default (possibly poisoned)
+// resolver. Its DialContext slots directly into http.Transport.
+type Dialer struct {
+	b  *Bridge
+	ep *endpoint
+
+	// Timeout bounds connects and resolutions in virtual time; zero means
+	// the bridge default, negative means no virtual bound at all (the
+	// caller cancels via context — note that virtual deadlines usually
+	// fire in microseconds of wall time, so an unbounded dial is the only
+	// way a wall-clock cancellation can win the race). Context deadlines
+	// tighten the bound per call.
+	Timeout time.Duration
+}
+
+// Dialer returns a dialer seated in the named vantage ISP, attaching the
+// bridge host on first use.
+func (b *Bridge) Dialer(vantage string) (*Dialer, error) {
+	var ep *endpoint
+	var eerr error
+	if err := b.do(func() { ep, eerr = b.pumpEndpoint(vantage) }); err != nil {
+		return nil, err
+	}
+	if eerr != nil {
+		return nil, eerr
+	}
+	return &Dialer{b: b, ep: ep}, nil
+}
+
+// Addr returns the simulated address the dialer's endpoint is seated at.
+func (d *Dialer) Addr() netip.Addr { return d.ep.addr }
+
+// timeoutFor computes the virtual-time budget for one dial or resolve:
+// the dialer timeout tightened by ctx's deadline (wall remaining mapped
+// 1:1 onto virtual time). Zero means unbounded; negative means the
+// deadline already passed.
+func (d *Dialer) timeoutFor(ctx context.Context) time.Duration {
+	t := d.Timeout
+	if t == 0 {
+		t = d.b.dialTimeout
+	}
+	if t < 0 {
+		t = 0 // unbounded: cancellation is the caller's job
+	}
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			r := time.Until(dl)
+			if r <= 0 {
+				return -1
+			}
+			if t == 0 || r < t {
+				t = r
+			}
+		}
+	}
+	return t
+}
+
+// Resolve queries the vantage ISP's default resolver for domain and
+// returns the answer addresses. On censored paths this surfaces exactly
+// what a subscriber sees: poisoned answers pointing at the ISP's block
+// IP. NXDOMAIN and empty answers return a *net.DNSError.
+func (d *Dialer) Resolve(ctx context.Context, domain string) ([]netip.Addr, error) {
+	budget := d.timeoutFor(ctx)
+	if budget < 0 {
+		return nil, d.dnsError(domain, context.DeadlineExceeded.Error(), true)
+	}
+	var (
+		addrs []netip.Addr
+		rcode dnswire.RCode
+		got   bool
+		w     *waiter
+	)
+	err := d.b.do(func() {
+		w = d.pumpResolve(domain, budget, &addrs, &rcode, &got)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if werr := d.b.waitOn(ctx, w); werr != nil {
+		return nil, d.dnsError(domain, werr.Error(), os.IsTimeout(werr))
+	}
+	if rcode != dnswire.RCodeNoError {
+		return nil, d.dnsError(domain, rcode.String(), false)
+	}
+	if len(addrs) == 0 {
+		return nil, d.dnsError(domain, "no answers", false)
+	}
+	return addrs, nil
+}
+
+// pumpResolve fires the async query and parks a waiter on its completion.
+//
+//repolint:pump
+func (d *Dialer) pumpResolve(domain string, budget time.Duration, addrs *[]netip.Addr, rcode *dnswire.RCode, got *bool) *waiter {
+	b := d.b
+	d.ep.dns.QueryAsync(d.ep.isp.DefaultResolver, domain, func(m *dnswire.Message, _ netip.Addr) {
+		*rcode = m.RCode
+		for _, a := range m.Answers {
+			*addrs = append(*addrs, a.Addr)
+		}
+		*got = true
+		b.wake = true
+	})
+	return b.addWaiter(func() bool { return *got }, budget, os.ErrDeadlineExceeded)
+}
+
+func (d *Dialer) dnsError(domain, msg string, timeout bool) error {
+	return &net.DNSError{
+		Err:        msg,
+		Name:       domain,
+		Server:     d.ep.isp.DefaultResolver.String(),
+		IsTimeout:  timeout,
+		IsNotFound: !timeout,
+	}
+}
+
+// Dial connects like net.Dial. Only "tcp" (and "tcp4") networks are
+// supported; the simulated internet is IPv4.
+func (d *Dialer) Dial(network, address string) (net.Conn, error) {
+	return d.DialContext(context.Background(), network, address)
+}
+
+// DialContext resolves address through the vantage ISP's resolver when it
+// is a name, completes the TCP handshake inside the simulation, and
+// returns a net.Conn backed by the bridge. It has the http.Transport
+// DialContext signature.
+func (d *Dialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	switch network {
+	case "tcp", "tcp4":
+	default:
+		return nil, &net.OpError{Op: "dial", Net: network,
+			Err: net.UnknownNetworkError(network)}
+	}
+	host, portStr, err := net.SplitHostPort(address)
+	if err != nil {
+		return nil, err
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return nil, &net.OpError{Op: "dial", Net: network,
+			Err: fmt.Errorf("invalid port %q", portStr)}
+	}
+	addr, aerr := netip.ParseAddr(host)
+	if aerr != nil {
+		addrs, rerr := d.Resolve(ctx, host)
+		if rerr != nil {
+			return nil, rerr
+		}
+		addr = addrs[0]
+	}
+
+	budget := d.timeoutFor(ctx)
+	if budget < 0 {
+		return nil, d.opError("dial", addr, uint16(port), os.ErrDeadlineExceeded)
+	}
+	var (
+		tc *tcpsim.Conn
+		w  *waiter
+	)
+	if err := d.b.do(func() { tc, w = d.pumpConnect(addr, uint16(port), budget) }); err != nil {
+		return nil, err
+	}
+	if werr := d.b.waitOn(ctx, w); werr != nil {
+		// Timed out or cancelled: tear the half-open connection down.
+		_ = d.b.do(func() { d.pumpAbort(tc) })
+		return nil, d.opError("dial", addr, uint16(port), werr)
+	}
+	var c *Conn
+	var derr error
+	if err := d.b.do(func() { c, derr = d.pumpFinishDial(tc) }); err != nil {
+		return nil, err
+	}
+	if derr != nil {
+		return nil, d.opError("dial", addr, uint16(port), derr)
+	}
+	return c, nil
+}
+
+// pumpConnect starts the handshake and parks a waiter on its outcome.
+//
+//repolint:pump
+func (d *Dialer) pumpConnect(addr netip.Addr, port uint16, budget time.Duration) (*tcpsim.Conn, *waiter) {
+	tc := d.ep.stack.Connect(addr, port)
+	d.b.hookConn(tc)
+	w := d.b.addWaiter(func() bool { return tc.Established() || tc.Dead() },
+		budget, os.ErrDeadlineExceeded)
+	return tc, w
+}
+
+//repolint:pump
+func (d *Dialer) pumpAbort(tc *tcpsim.Conn) { tc.Abort() }
+
+// pumpFinishDial inspects the handshake outcome and wraps the live
+// connection.
+//
+//repolint:pump
+func (d *Dialer) pumpFinishDial(tc *tcpsim.Conn) (*Conn, error) {
+	if _, reset := tc.WasReset(); reset {
+		return nil, syscall.ECONNREFUSED
+	}
+	if tc.Dead() {
+		return nil, syscall.ECONNABORTED
+	}
+	return newConn(d.b, tc), nil
+}
+
+func (d *Dialer) opError(op string, addr netip.Addr, port uint16, err error) error {
+	return &net.OpError{
+		Op:     op,
+		Net:    "tcp",
+		Source: &net.TCPAddr{IP: d.ep.addr.AsSlice()},
+		Addr:   &net.TCPAddr{IP: addr.AsSlice(), Port: int(port)},
+		Err:    err,
+	}
+}

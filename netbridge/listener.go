@@ -1,0 +1,133 @@
+package netbridge
+
+import (
+	"net"
+
+	"repro/internal/tcpsim"
+)
+
+// Listener is a real net.Listener seated on a vantage ISP's bridge host.
+// Accept blocks the calling goroutine until a simulated peer completes a
+// handshake against the port.
+type Listener struct {
+	b    *Bridge
+	ep   *endpoint
+	port uint16
+	addr net.Addr
+
+	// Pump-owned.
+	backlog []*tcpsim.Conn
+	closed  bool
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Listen opens a TCP listener on the named vantage's bridge host. The
+// bridge host is attached on first use; the port must not already have a
+// bridge listener.
+func (b *Bridge) Listen(vantage string, port uint16) (*Listener, error) {
+	var l *Listener
+	var lerr error
+	if err := b.do(func() { l, lerr = b.pumpListen(vantage, port) }); err != nil {
+		return nil, err
+	}
+	return l, lerr
+}
+
+//repolint:pump
+func (b *Bridge) pumpListen(vantage string, port uint16) (*Listener, error) {
+	ep, err := b.pumpEndpoint(vantage)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{
+		b:    b,
+		ep:   ep,
+		port: port,
+		addr: &net.TCPAddr{IP: ep.addr.AsSlice(), Port: int(port)},
+	}
+	ep.stack.Listen(port, func(tc *tcpsim.Conn) {
+		// Established: hook before any piggybacked data is processed so
+		// the first OnData still lands.
+		b.hookConn(tc)
+		l.backlog = append(l.backlog, tc)
+		b.wake = true
+	})
+	return l, nil
+}
+
+// Addr returns the listener's simulated address.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// Accept blocks until a simulated peer connects, returning the accepted
+// connection as a net.Conn.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		var (
+			c    *Conn
+			aerr error
+			w    *waiter
+		)
+		err := l.b.do(func() {
+			c, aerr = l.pumpAccept()
+			if c == nil && aerr == nil {
+				w = l.b.addWaiter(l.acceptReady, 0, nil)
+			}
+		})
+		if err != nil {
+			return nil, l.acceptErr(err)
+		}
+		if aerr != nil {
+			return nil, l.acceptErr(aerr)
+		}
+		if c != nil {
+			return c, nil
+		}
+		if werr := l.b.waitOn(nil, w); werr != nil {
+			return nil, l.acceptErr(werr)
+		}
+	}
+}
+
+// pumpAccept pops the backlog without blocking.
+//
+//repolint:pump
+func (l *Listener) pumpAccept() (*Conn, error) {
+	if l.closed {
+		return nil, net.ErrClosed
+	}
+	if len(l.backlog) == 0 {
+		return nil, nil
+	}
+	tc := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return newConn(l.b, tc), nil
+}
+
+//repolint:pump
+func (l *Listener) acceptReady() bool { return l.closed || len(l.backlog) > 0 }
+
+// Close stops the listener and releases goroutines blocked in Accept.
+// Connections already accepted (or established and waiting in the
+// backlog) are aborted if still in the backlog.
+func (l *Listener) Close() error {
+	return l.b.do(func() { l.pumpCloseListener() })
+}
+
+//repolint:pump
+func (l *Listener) pumpCloseListener() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.ep.stack.Listen(l.port, nil)
+	for _, tc := range l.backlog {
+		tc.Abort()
+	}
+	l.backlog = nil
+	l.b.wake = true
+}
+
+func (l *Listener) acceptErr(err error) error {
+	return &net.OpError{Op: "accept", Net: "tcp", Addr: l.addr, Err: err}
+}

@@ -1,0 +1,480 @@
+package netbridge
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/censor"
+	"repro/internal/ispnet"
+)
+
+// blockPageMarker is the fragment of the Idea notification style every
+// overt interception at that ISP carries.
+const blockPageMarker = "This URL has been blocked under instructions of a"
+
+func newSession(t *testing.T) *censor.Session {
+	t.Helper()
+	sess, err := censor.NewSession(context.Background(),
+		censor.WithScenario(censor.MustLookupScenario("small")))
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	return sess
+}
+
+func newBridge(t *testing.T, sess *censor.Session, opts ...Option) *Bridge {
+	t.Helper()
+	b, err := New(sess, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+// ideaFilteredDomain finds a PBW domain ground-truth HTTP-filtered on
+// Idea's path — deterministic for the scenario seed. Must be called
+// before the bridge is opened (it reads the session world directly).
+func ideaFilteredDomain(t *testing.T, w *ispnet.World) string {
+	t.Helper()
+	isp := w.ISP("Idea")
+	for _, d := range w.Catalog.PBWDomains() {
+		if w.TruthFor(isp, d).HTTPFiltered {
+			return d
+		}
+	}
+	t.Fatal("no HTTP-filtered PBW domain on Idea (scenario changed?)")
+	return ""
+}
+
+// poisonedVantage finds an ISP whose default resolver poisons some PBW
+// domain, and that domain.
+func poisonedVantage(t *testing.T, w *ispnet.World) (string, string) {
+	t.Helper()
+	for _, name := range []string{"MTNL", "BSNL"} {
+		isp := w.ISP(name)
+		var def interface{ PoisonsDomain(string) bool }
+		for _, r := range isp.Resolvers {
+			if r.Addr() == isp.DefaultResolver {
+				def = r
+				break
+			}
+		}
+		if def == nil {
+			continue
+		}
+		for _, d := range w.Catalog.PBWDomains() {
+			if def.PoisonsDomain(d) {
+				return name, d
+			}
+		}
+	}
+	t.Skip("no poisoned default resolver in scenario (seed changed?)")
+	return "", ""
+}
+
+// TestHTTPClientSeesBlockPage is the headline test: an unmodified
+// net/http client dials through the bridge from the Idea vantage,
+// requests a domain the paper's blocklist covers, and receives the
+// interceptive middlebox's notification page.
+func TestHTTPClientSeesBlockPage(t *testing.T) {
+	sess := newSession(t)
+	domain := ideaFilteredDomain(t, sess.World())
+	b := newBridge(t, sess)
+
+	d, err := b.Dialer("Idea")
+	if err != nil {
+		t.Fatalf("Dialer: %v", err)
+	}
+	client := &http.Client{Transport: &http.Transport{
+		DialContext:       d.DialContext,
+		DisableKeepAlives: true,
+	}}
+	resp, err := client.Get("http://" + domain + "/")
+	if err != nil {
+		t.Fatalf("GET http://%s/: %v", domain, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200 (overt interception mimics success)", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), blockPageMarker) {
+		t.Errorf("body is not the Idea block page:\n%s", body)
+	}
+}
+
+// TestPoisonedResolve checks the DNS-censorship path: resolving a
+// poisoned domain from a DNS-censoring vantage returns the ISP's block
+// address, not the site, and dialing it goes nowhere.
+func TestPoisonedResolve(t *testing.T) {
+	sess := newSession(t)
+	w := sess.World()
+	vantage, domain := poisonedVantage(t, w)
+	isp := w.ISP(vantage)
+	site, ok := w.Catalog.Site(domain)
+	if !ok {
+		t.Fatalf("domain %s not in catalog", domain)
+	}
+	b := newBridge(t, sess)
+
+	d, err := b.Dialer(vantage)
+	if err != nil {
+		t.Fatalf("Dialer: %v", err)
+	}
+	addrs, err := d.Resolve(context.Background(), domain)
+	if err != nil {
+		t.Fatalf("Resolve(%s): %v", domain, err)
+	}
+	real := site.Addr(w.RegionOf(d.Addr()))
+	for _, a := range addrs {
+		if a == real {
+			t.Fatalf("poisoned resolve returned the site's real address %s", a)
+		}
+	}
+
+	// The poisoned address must not serve anything: the usual answer is
+	// the ISP's static block IP inside a dead prefix.
+	d.Timeout = 2 * time.Second // virtual, costs no wall time
+	_, derr := d.Dial("tcp", net.JoinHostPort(addrs[0].String(), "80"))
+	if derr == nil {
+		t.Fatalf("dial to poisoned answer %s unexpectedly succeeded", addrs[0])
+	}
+	if addrs[0] == isp.BlockIP {
+		t.Logf("poisoned answer was the block IP %s (dial error: %v)", addrs[0], derr)
+	}
+}
+
+// TestListenerEcho runs a real listener and a real dialer on two vantage
+// ISPs and pushes data both ways through the simulated fabric.
+func TestListenerEcho(t *testing.T) {
+	sess := newSession(t)
+	b := newBridge(t, sess)
+
+	l, err := b.Listen("NKN", 9000)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		defer c.Close()
+		if _, err := io.Copy(c, c); err != nil {
+			t.Errorf("echo copy: %v", err)
+		}
+	}()
+
+	d, err := b.Dialer("Sify")
+	if err != nil {
+		t.Fatalf("Dialer: %v", err)
+	}
+	laddr := l.Addr().(*net.TCPAddr)
+	c, err := d.Dial("tcp", laddr.String())
+	if err != nil {
+		t.Fatalf("Dial %s: %v", laddr, err)
+	}
+
+	msg := bytes.Repeat([]byte("simulated wire bytes / "), 400) // ~9KB, multi-segment
+	go func() {
+		if _, err := c.Write(msg); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("echoed bytes differ from sent bytes")
+	}
+	c.Close()
+	wg.Wait()
+}
+
+// TestDialUnknownVantageAndNetwork covers the error paths that never
+// reach the simulation.
+func TestDialUnknownVantageAndNetwork(t *testing.T) {
+	sess := newSession(t)
+	b := newBridge(t, sess)
+
+	if _, err := b.Dialer("NoSuchISP"); err == nil {
+		t.Error("Dialer accepted an unknown vantage")
+	}
+	d, err := b.Dialer("NKN")
+	if err != nil {
+		t.Fatalf("Dialer: %v", err)
+	}
+	if _, err := d.Dial("udp", "10.0.0.1:53"); err == nil {
+		t.Error("Dial accepted a udp network")
+	}
+	if _, err := d.Dial("tcp", "not-an-address"); err == nil {
+		t.Error("Dial accepted an unsplittable address")
+	}
+}
+
+// TestDialTimeout dials a blackholed address and expects a timeout error
+// after the virtual budget, nearly instantly in wall time.
+func TestDialTimeout(t *testing.T) {
+	sess := newSession(t)
+	w := sess.World()
+	blockIP := w.ISP("MTNL").BlockIP
+	b := newBridge(t, sess)
+
+	d, err := b.Dialer("MTNL")
+	if err != nil {
+		t.Fatalf("Dialer: %v", err)
+	}
+	d.Timeout = 3 * time.Second // virtual
+	start := time.Now()
+	_, derr := d.Dial("tcp", net.JoinHostPort(blockIP.String(), "80"))
+	if derr == nil {
+		t.Fatal("dial to the dead block prefix succeeded")
+	}
+	var opErr *net.OpError
+	if !errors.As(derr, &opErr) || !opErr.Timeout() {
+		t.Errorf("error = %v, want a timeout *net.OpError", derr)
+	}
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Errorf("virtual 3s timeout took %v of wall time", wall)
+	}
+}
+
+// TestContextCancelsDial verifies a context cancellation unblocks a dial
+// promptly even though virtual time would have waited much longer.
+func TestContextCancelsDial(t *testing.T) {
+	sess := newSession(t)
+	blockIP := sess.World().ISP("BSNL").BlockIP
+	b := newBridge(t, sess)
+
+	d, err := b.Dialer("BSNL")
+	if err != nil {
+		t.Fatalf("Dialer: %v", err)
+	}
+	// Unbounded in virtual time: only the context can end this dial. (Any
+	// virtual deadline would fire within microseconds of wall time and
+	// win the race against the cancel.)
+	d.Timeout = -1
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond) // wall
+		cancel()
+	}()
+	_, derr := d.DialContext(ctx, "tcp", net.JoinHostPort(blockIP.String(), "80"))
+	if derr == nil {
+		t.Fatal("cancelled dial succeeded")
+	}
+	if !errors.Is(derr, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", derr)
+	}
+}
+
+// TestCloseUnblocks closes the bridge while goroutines are parked in
+// Accept and Read; all must return ErrBridgeClosed-wrapped errors.
+func TestCloseUnblocks(t *testing.T) {
+	sess := newSession(t)
+	b := newBridge(t, sess)
+
+	l, err := b.Listen("NKN", 9001)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	errs := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let Accept park
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrBridgeClosed) {
+			t.Errorf("Accept after Close = %v, want ErrBridgeClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept still blocked after Close")
+	}
+	// Post-close operations fail fast.
+	if _, err := b.Dialer("NKN"); !errors.Is(err, ErrBridgeClosed) {
+		t.Errorf("Dialer after Close = %v, want ErrBridgeClosed", err)
+	}
+	// Measure works again once the bridge released the world.
+	m, ok := censor.Lookup("dns")
+	if !ok {
+		t.Fatal("dns detector not registered")
+	}
+	if _, err := sess.Measure(context.Background(), "NKN", m, sess.World().Catalog.PBWDomains()[0]); err != nil {
+		t.Errorf("Measure after Close: %v", err)
+	}
+}
+
+// TestDeadlines checks read deadlines produce timeout errors.
+func TestDeadlines(t *testing.T) {
+	sess := newSession(t)
+	b := newBridge(t, sess)
+
+	l, err := b.Listen("NKN", 9002)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			defer c.Close()
+			// Hold the connection open without sending.
+			buf := make([]byte, 1)
+			c.Read(buf)
+		}
+	}()
+	d, err := b.Dialer("NKN")
+	if err != nil {
+		t.Fatalf("Dialer: %v", err)
+	}
+	laddr := l.Addr().(*net.TCPAddr)
+	c, err := d.Dial("tcp", laddr.String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 16)
+	_, rerr := c.Read(buf)
+	var nerr net.Error
+	if !errors.As(rerr, &nerr) || !nerr.Timeout() {
+		t.Errorf("Read past deadline = %v, want a timeout net.Error", rerr)
+	}
+}
+
+// TestPcapSink captures a bridge HTTP exchange and sanity-checks the pcap
+// stream: classic magic, and at least SYN+request+response packets.
+func TestPcapSink(t *testing.T) {
+	sess := newSession(t)
+	domain := ideaFilteredDomain(t, sess.World())
+	b := newBridge(t, sess)
+
+	d, err := b.Dialer("Idea")
+	if err != nil {
+		t.Fatalf("Dialer: %v", err)
+	}
+	var buf bytes.Buffer
+	sink, err := NewPcapSink(&buf)
+	if err != nil {
+		t.Fatalf("NewPcapSink: %v", err)
+	}
+	if err := d.CaptureTo(sink); err != nil {
+		t.Fatalf("CaptureTo: %v", err)
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		DialContext:       d.DialContext,
+		DisableKeepAlives: true,
+	}}
+	resp, err := client.Get("http://" + domain + "/")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	packets, serr := sink.Stats()
+	if serr != nil {
+		t.Fatalf("sink error: %v", serr)
+	}
+	if packets < 4 {
+		t.Errorf("captured %d packets, want at least SYN/SYNACK/request/response", packets)
+	}
+	raw := buf.Bytes()
+	if len(raw) < 24 {
+		t.Fatalf("pcap stream only %d bytes", len(raw))
+	}
+	if got := uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24; got != 0xa1b2c3d4 {
+		t.Errorf("pcap magic = %#x, want 0xa1b2c3d4", got)
+	}
+	if !bytes.Contains(raw, []byte("Host: "+domain)) {
+		t.Error("capture does not contain the HTTP request")
+	}
+	if !bytes.Contains(raw, []byte(blockPageMarker)) {
+		t.Error("capture does not contain the injected block page")
+	}
+}
+
+// TestConcurrentDials exercises the pump under parallel dialers from
+// multiple goroutines — the case -race exists for.
+func TestConcurrentDials(t *testing.T) {
+	sess := newSession(t)
+	domain := ideaFilteredDomain(t, sess.World())
+	b := newBridge(t, sess)
+
+	d, err := b.Dialer("Idea")
+	if err != nil {
+		t.Fatalf("Dialer: %v", err)
+	}
+	client := &http.Client{Transport: &http.Transport{
+		DialContext:       d.DialContext,
+		DisableKeepAlives: true,
+	}}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get("http://" + domain + "/")
+			if err != nil {
+				t.Errorf("GET: %v", err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if !strings.Contains(string(body), blockPageMarker) {
+				t.Errorf("one of the concurrent GETs missed the block page")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBridgeHostAddressing pins the bridge host address contract: hosts
+// seat in the ISP's first /24 at .210+, never colliding with the client
+// at .100 or resolvers at .10+.
+func TestBridgeHostAddressing(t *testing.T) {
+	sess := newSession(t)
+	b := newBridge(t, sess)
+	d, err := b.Dialer("Airtel")
+	if err != nil {
+		t.Fatalf("Dialer: %v", err)
+	}
+	a := d.Addr()
+	if !a.Is4() {
+		t.Fatalf("bridge host addr %s is not IPv4", a)
+	}
+	b4 := a.As4()
+	if b4[2] != 0 || b4[3] < 210 {
+		t.Errorf("bridge host at %s, want x.y.0.210+", a)
+	}
+	if _, err := b.Dialer("Airtel"); err != nil {
+		t.Errorf("second Dialer on same vantage: %v", err)
+	}
+	var _ netip.Addr = a
+}

@@ -1,0 +1,55 @@
+package netbridge
+
+import (
+	"io"
+
+	"repro/internal/pcapwire"
+)
+
+// PcapSink records every packet crossing a bridge endpoint's host into a
+// classic libpcap stream (LINKTYPE_RAW, virtual timestamps) that
+// Wireshark opens directly. Attach one with Dialer.CaptureTo; capture is
+// per-vantage endpoint, so a listener on the same vantage is recorded by
+// the same sink.
+type PcapSink struct {
+	b *Bridge // set on attach; accessors route through the pump after
+	w *pcapwire.Writer
+}
+
+// NewPcapSink writes the pcap global header to w and returns the sink.
+// The underlying writer is used only from the pump goroutine once
+// attached; closing the bridge happens-before Close of the file is safe.
+func NewPcapSink(w io.Writer) (*PcapSink, error) {
+	pw, err := pcapwire.NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	return &PcapSink{w: pw}, nil
+}
+
+// CaptureTo installs the sink as the endpoint's packet tap. One sink per
+// vantage endpoint; attaching another replaces the first.
+func (d *Dialer) CaptureTo(s *PcapSink) error {
+	return d.b.do(func() {
+		s.b = d.b
+		d.pumpAttachTap(s)
+	})
+}
+
+//repolint:pump
+func (d *Dialer) pumpAttachTap(s *PcapSink) {
+	d.ep.host.SetTap(s.w.Tap())
+}
+
+// Stats returns how many packets were recorded and the sticky first write
+// error, if any. Safe to call while the capture is live.
+func (s *PcapSink) Stats() (packets int, err error) {
+	if s.b == nil {
+		return s.w.Packets(), s.w.Err()
+	}
+	if derr := s.b.do(func() { packets, err = s.w.Packets(), s.w.Err() }); derr != nil {
+		// Bridge already closed: the pump is gone, reads are race-free.
+		return s.w.Packets(), s.w.Err()
+	}
+	return packets, err
+}
