@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ispnet"
 	"repro/internal/pcapwire"
+	"repro/obs"
 )
 
 // Campaign describes one fan-out: every configured vantage runs every
@@ -178,6 +179,17 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 		}
 	}
 
+	// Process-side telemetry: task counts, replica-pool economics, and
+	// wall-clock timing. These live in the caller's registry under the
+	// censor_* prefix and — unlike the sim-side sums merged from each
+	// replica's world registry — legitimately vary with worker count and
+	// machine load, so the determinism tests exclude them.
+	cTasks := cfg.obs.Counter("censor_tasks_total")
+	cPoolHits := cfg.obs.Counter("censor_replica_pool_hits_total")
+	cBuilds := cfg.obs.Counter("censor_replica_builds_total")
+	hTask := cfg.obs.Histogram("censor_task_ns")
+	hMergeWait := cfg.obs.Histogram("censor_merge_wait_ns")
+
 	ctx, cancel := context.WithCancel(parent)
 	st := &Stream{ch: make(chan Result, 64), cancel: cancel}
 	results := make([][]Result, len(tasks))
@@ -205,7 +217,7 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wid int) {
 			defer wg.Done()
 			// Replica pool, one slot per worker: the world comes from the
 			// session's cross-run pool when a previous campaign parked one,
@@ -225,11 +237,25 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 					if !cfg.freshReplicas {
 						world = s.takeReplica()
 					}
-					if world == nil {
+					if world != nil {
+						cPoolHits.Inc()
+					} else {
 						world = newReplicaWorld(cfg.world)
+						cBuilds.Inc()
 					}
 				}
+				span := cfg.trace.Start(tasks[i].vantage+"/"+tasks[i].m.Kind(), "task", wid)
+				start := obs.WallClock()
 				results[i] = runTask(ctx, world, cfg, tasks[i], domains)
+				hTask.Observe(obs.WallClock() - start)
+				cfg.trace.Finish(span)
+				cTasks.Inc()
+				// Merge the replica's deterministic sim-side sums into the
+				// caller's registry before Reset zeroes them. Counter sums are
+				// commutative, so the totals are invariant across worker
+				// counts and pooled-vs-fresh replicas — the property the
+				// telemetry determinism test pins down.
+				world.Obs().AddTo(cfg.obs)
 				if cfg.freshReplicas {
 					world = nil
 				} else {
@@ -242,7 +268,7 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 				// for the session's next campaign.
 				s.parkReplica(world)
 			}
-		}()
+		}(w)
 	}
 
 	// Merger: emit task outputs in task order as they complete.
@@ -251,12 +277,21 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 		defer cancel() // release the derived context once fully drained
 		defer wg.Wait()
 		for i := range tasks {
+			// Merge-wait is the time the in-order merger stalls behind this
+			// task — the head-of-line blocking that decides whether adding
+			// workers helps (tid = workers puts these spans on their own
+			// trace row, below the worker rows).
+			span := cfg.trace.Start("merge-wait", "merge", workers)
+			start := obs.WallClock()
 			select {
 			case <-done[i]:
 			case <-ctx.Done():
+				cfg.trace.Finish(span)
 				st.err = ctx.Err()
 				return
 			}
+			hMergeWait.Observe(obs.WallClock() - start)
+			cfg.trace.Finish(span)
 			for _, r := range results[i] {
 				select {
 				case st.ch <- r:

@@ -63,6 +63,7 @@ import (
 
 	"repro/internal/ispnet"
 	"repro/internal/probe"
+	"repro/obs"
 )
 
 // Scale selects a world size.
@@ -101,6 +102,13 @@ type config struct {
 	// pcapDir, when set, makes campaign tasks record the vantage client's
 	// packets into <pcapDir>/<vantage>_<kind>.pcap files.
 	pcapDir string
+	// obs, when set, receives campaign telemetry: each task's world-metric
+	// delta is merged in, and the runner's own process-side instruments
+	// (task timing, merge wait, replica pool traffic) live here too.
+	obs *obs.Registry
+	// trace, when set, records per-worker task spans and merge-wait spans
+	// (wall-clock timebase).
+	trace *obs.Tracer
 }
 
 func defaultConfig() config {
@@ -229,6 +237,34 @@ func WithWorkers(n int) Option {
 		if n > 0 {
 			c.workers = n
 		}
+	}
+}
+
+// WithTelemetry aggregates campaign telemetry into reg. Two kinds of
+// series land there. World metrics (sim_*, netsim_*, middlebox_*,
+// trafficgen_* — scheduler traffic, packet counts, flow-table pressure)
+// are merged in per task as each task's world delta; they count virtual
+// events only, so their sums are byte-identical across worker counts and
+// replica pooling. Process metrics (censor_* — task/merge wall timing,
+// replica pool hits and builds) describe the runner itself and
+// legitimately vary run to run. The same registry may serve many
+// campaigns and a monitor /metrics endpoint concurrently.
+func WithTelemetry(reg *obs.Registry) Option {
+	return func(c *config) { c.obs = reg }
+}
+
+// WithTrace records campaign execution spans into tr: one span per task
+// (named <vantage>/<kind>, on the worker's trace thread) and one
+// merge-wait span per task the merger had to block for. Spans are
+// stamped with obs.WallClock — campaign tracing profiles the runner, not
+// the simulation, so unlike the result stream it is not deterministic.
+// Export with Tracer.WriteChromeTrace (Perfetto) or WriteJSONL.
+func WithTrace(tr *obs.Tracer) Option {
+	return func(c *config) {
+		if tr != nil {
+			tr.SetClock(obs.WallClock)
+		}
+		c.trace = tr
 	}
 }
 

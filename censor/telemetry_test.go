@@ -1,0 +1,199 @@
+package censor
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/obs"
+)
+
+// simPrefixes are the metric families merged from the per-world (engine)
+// registries. These sums are part of the determinism contract: identical
+// for any worker count and for pooled vs fresh replicas. The censor_*
+// process-side families (task timing, pool hits) legitimately vary and
+// are excluded.
+var simPrefixes = []string{"sim_", "netsim_", "middlebox_", "trafficgen_"}
+
+// simMetrics renders reg's Prometheus exposition filtered down to the
+// deterministic sim-side families.
+func simMetrics(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var full strings.Builder
+	if err := reg.WritePrometheus(&full); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	var out strings.Builder
+	for _, line := range strings.Split(full.String(), "\n") {
+		name := strings.TrimPrefix(line, "# TYPE ")
+		for _, p := range simPrefixes {
+			if strings.HasPrefix(name, p) {
+				out.WriteString(line)
+				out.WriteByte('\n')
+				break
+			}
+		}
+	}
+	return out.String()
+}
+
+// TestCampaignTelemetryDeterminism is TestCampaignParallelGolden with the
+// telemetry layer live: the result stream must stay byte-identical across
+// worker counts and replica pooling, and the sim-side metric sums merged
+// from each task's world registry must be byte-identical too.
+func TestCampaignTelemetryDeterminism(t *testing.T) {
+	s := session(t)
+	campaign := Campaign{
+		Domains:      s.PBWDomains()[:6],
+		Measurements: []Measurement{DNS(), HTTP()},
+	}
+	vantages := WithVantages("Airtel", "MTNL", "Idea")
+
+	runWith := func(workers int, extra ...Option) ([]byte, string) {
+		reg := obs.NewRegistry()
+		opts := append([]Option{vantages, WithWorkers(workers), WithTelemetry(reg)}, extra...)
+		stream, err := s.Run(context.Background(), campaign, opts...)
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := stream.WriteJSONL(&buf); err != nil {
+			t.Fatalf("WriteJSONL(workers=%d): %v", workers, err)
+		}
+		return buf.Bytes(), simMetrics(t, reg)
+	}
+
+	seqOut, seqMetrics := runWith(1)
+	parOut, parMetrics := runWith(4)
+	freshOut, freshMetrics := runWith(4, withFreshReplicaWorlds())
+
+	if !bytes.Equal(seqOut, parOut) || !bytes.Equal(seqOut, freshOut) {
+		t.Fatalf("campaign output diverged with telemetry enabled")
+	}
+	if seqMetrics != parMetrics {
+		t.Fatalf("sim-side metrics diverged between workers=1 and workers=4:\n--- w1 ---\n%s\n--- w4 ---\n%s",
+			seqMetrics, parMetrics)
+	}
+	if seqMetrics != freshMetrics {
+		t.Fatalf("sim-side metrics diverged between pooled and fresh replicas:\n--- pooled ---\n%s\n--- fresh ---\n%s",
+			seqMetrics, freshMetrics)
+	}
+	// The merge actually carried content, not just empty registries.
+	for _, want := range []string{"sim_events_run_total", "netsim_packets_forwarded_total"} {
+		if !strings.Contains(seqMetrics, want) {
+			t.Errorf("merged metrics missing %s:\n%s", want, seqMetrics)
+		}
+	}
+}
+
+// TestCampaignTrace checks the per-campaign trace export: every task gets
+// a <vantage>/<kind> span on its worker's row, the merger's head-of-line
+// waits land on their own row, and the export is valid Chrome JSON.
+func TestCampaignTrace(t *testing.T) {
+	s := session(t)
+	campaign := Campaign{
+		Domains:      s.PBWDomains()[:4],
+		Measurements: []Measurement{DNS(), HTTP()},
+	}
+	tracer := obs.NewTracer(nil) // WithTrace binds the wall clock
+	stream, err := s.Run(context.Background(), campaign,
+		WithVantages("Airtel", "MTNL"), WithWorkers(2), WithTrace(tracer))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := stream.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	const tasks = 2 * 2 // vantages x measurements
+	var taskSpans, mergeSpans int
+	for _, sp := range tracer.Spans() {
+		switch sp.Cat {
+		case "task":
+			taskSpans++
+			if !strings.Contains(sp.Name, "/") {
+				t.Errorf("task span name %q, want vantage/kind", sp.Name)
+			}
+			if sp.TID < 0 || sp.TID >= 2 {
+				t.Errorf("task span tid = %d, want worker id in [0,2)", sp.TID)
+			}
+			if sp.End < sp.Start {
+				t.Errorf("task span %q unfinished", sp.Name)
+			}
+		case "merge":
+			mergeSpans++
+			if sp.TID != 2 {
+				t.Errorf("merge span tid = %d, want 2 (workers)", sp.TID)
+			}
+		}
+	}
+	if taskSpans != tasks {
+		t.Errorf("task spans = %d, want %d", taskSpans, tasks)
+	}
+	if mergeSpans != tasks {
+		t.Errorf("merge-wait spans = %d, want %d", mergeSpans, tasks)
+	}
+
+	var chrome bytes.Buffer
+	if err := tracer.WriteChromeTrace(&chrome); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if !bytes.Contains(chrome.Bytes(), []byte(`"ph":"X"`)) {
+		t.Errorf("chrome trace has no duration events:\n%s", chrome.String())
+	}
+	if !json.Valid(chrome.Bytes()) {
+		t.Errorf("chrome trace is not valid JSON:\n%s", chrome.String())
+	}
+}
+
+// TestCampaignPoolCounters pins the replica-pool economics the telemetry
+// reports: a campaign builds at most min(workers, tasks) worlds, the rest
+// of the task pickups are pool hits, and every task is counted.
+func TestCampaignPoolCounters(t *testing.T) {
+	s, err := NewSession(context.Background(), WithScenario(MustLookupScenario("small")))
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	reg := obs.NewRegistry()
+	campaign := Campaign{
+		Domains:      s.PBWDomains()[:2],
+		Measurements: []Measurement{DNS(), HTTP()},
+	}
+	run := func() {
+		stream, err := s.Run(context.Background(), campaign,
+			WithVantages("Airtel", "MTNL"), WithWorkers(2), WithTelemetry(reg))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := stream.Drain(); err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	}
+	run()
+	const tasks = 2 * 2
+	if got := reg.Counter("censor_tasks_total").Value(); got != tasks {
+		t.Errorf("tasks_total = %d, want %d", got, tasks)
+	}
+	builds := reg.Counter("censor_replica_builds_total").Value()
+	if builds == 0 || builds > 2 {
+		t.Errorf("replica_builds_total = %d, want 1..2 (min(workers,tasks) cap)", builds)
+	}
+	if reg.Histogram("censor_task_ns").Count() != tasks {
+		t.Errorf("task_ns count = %d, want %d", reg.Histogram("censor_task_ns").Count(), tasks)
+	}
+	if reg.Histogram("censor_merge_wait_ns").Count() != tasks {
+		t.Errorf("merge_wait_ns count = %d, want %d", reg.Histogram("censor_merge_wait_ns").Count(), tasks)
+	}
+
+	// A second campaign reuses the parked replicas: no new builds, only
+	// pool hits — the shape censord's recurring runs lean on.
+	run()
+	if got := reg.Counter("censor_replica_builds_total").Value(); got != builds {
+		t.Errorf("second campaign built %d new worlds, want 0", got-builds)
+	}
+	if reg.Counter("censor_replica_pool_hits_total").Value() == 0 {
+		t.Error("second campaign recorded no pool hits")
+	}
+}

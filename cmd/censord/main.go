@@ -11,7 +11,9 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                  liveness + store counters
+//	GET  /healthz                  liveness, build info, uptime, store counters
+//	GET  /metrics                  Prometheus text exposition of all telemetry
+//	GET  /debug/vars               the same registry as expvar JSON
 //	GET  /v1/scenarios             the scenario preset registry
 //	GET  /v1/runs                  retained runs
 //	POST /v1/campaigns             trigger a run now ({"job":"small"})
@@ -44,6 +46,7 @@ import (
 	"repro/censor"
 	"repro/internal/cliutil"
 	"repro/monitor"
+	"repro/obs"
 )
 
 func main() {
@@ -83,7 +86,11 @@ func run(listen, scenario string, every, jitter time.Duration, workers, domainCa
 	if err != nil {
 		return err
 	}
-	opts := []censor.Option{censor.WithTimeout(timeout)}
+	// One process-wide registry: campaign telemetry (censor.WithTelemetry),
+	// store counters and the /metrics endpoint all share it, so a single
+	// scrape sees the whole stack — merged sim-side sums included.
+	reg := obs.NewRegistry()
+	opts := []censor.Option{censor.WithTimeout(timeout), censor.WithTelemetry(reg)}
 	if seed != 0 {
 		world.Seed = seed
 	}
@@ -91,7 +98,8 @@ func run(listen, scenario string, every, jitter time.Duration, workers, domainCa
 		opts = append(opts, censor.WithVantages(vantages...))
 	}
 
-	store := monitor.NewStore(monitor.WithRingSize(ringSize), monitor.WithRunRetention(runCap))
+	store := monitor.NewStore(monitor.WithRingSize(ringSize), monitor.WithRunRetention(runCap),
+		monitor.WithTelemetry(reg))
 	job := monitor.Job{
 		Scenario:  world,
 		Campaign:  censor.Campaign{Measurements: measurements},
@@ -124,7 +132,7 @@ func run(listen, scenario string, every, jitter time.Duration, workers, domainCa
 		go sched.Run(ctx) //nolint:errcheck // exits with ctx at shutdown
 	}
 
-	var handler http.Handler = monitor.NewHandler(store, sched)
+	var handler http.Handler = monitor.NewHandler(store, sched, monitor.WithMetrics(reg))
 	if withPprof {
 		// Profiling endpoints for live perf work against a running
 		// observatory; opt-in because they expose internals.

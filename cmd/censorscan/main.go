@@ -26,6 +26,13 @@
 //	censorscan -quick -measure dns -push http://localhost:8080 > results.jsonl
 //	censorscan -quick -campaign -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
 //	censorscan -quick -measure dns,http -domains 10 -pcap captures/ > results.jsonl
+//	censorscan -quick -measure dns,http -trace trace.json > results.jsonl
+//	censorscan -quick -measure dns -metrics-dump > results.jsonl
+//
+// -trace writes the campaign's worker/merger timeline as a Chrome
+// trace_event file (open it in Perfetto or chrome://tracing);
+// -metrics-dump prints the campaign's full telemetry registry to stderr
+// in Prometheus text format after the run.
 //
 // -push POSTs the finished campaign's JSONL to a running censord
 // (cmd/censord) so batch runs land in the observatory's store.
@@ -51,6 +58,7 @@ import (
 	"repro/censor"
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/obs"
 )
 
 func main() {
@@ -70,6 +78,8 @@ func main() {
 	timeout := flag.Duration("timeout", 3*time.Second, "per-probe network timeout")
 	seed := flag.Int64("seed", 0, "override the world seed (0 = calibrated default)")
 	pcapDir := flag.String("pcap", "", "write one .pcap per campaign task (vantage client's packets) into this directory")
+	tracePath := flag.String("trace", "", "write the campaign's worker/merge timeline to this file as Chrome trace_event JSON")
+	metricsDump := flag.Bool("metrics-dump", false, "print the campaign's telemetry registry to stderr (Prometheus text) after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -90,7 +100,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "censorscan: -quick and -scenario both pick the world; use one")
 		os.Exit(2)
 	}
-	for _, name := range []string{"workers", "isps", "measure", "domains", "format", "push", "load", "pcap"} {
+	for _, name := range []string{"workers", "isps", "measure", "domains", "format", "push", "load", "pcap", "trace", "metrics-dump"} {
 		if !set[name] {
 			continue
 		}
@@ -209,7 +219,7 @@ func main() {
 		// kill-on-SIGINT (neither observes a context).
 		ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
 		defer stop()
-		if err := runCampaign(ctx, sess, world.Name, *workers, measurements, *domains, *format, *push); err != nil {
+		if err := runCampaign(ctx, sess, world.Name, *workers, measurements, *domains, *format, *push, *tracePath, *metricsDump); err != nil {
 			fmt.Fprintf(os.Stderr, "censorscan: %v\n", err)
 			os.Exit(1)
 		}
@@ -247,15 +257,48 @@ func printScenarios(w io.Writer) {
 // requested format; with -push it additionally captures the JSONL form
 // and POSTs it to a running censord, so batch runs land in the
 // observatory's store as a queryable run.
-func runCampaign(ctx context.Context, sess *censor.Session, scenario string, workers int, measurements []censor.Measurement, domainCap int, format, pushURL string) error {
+func runCampaign(ctx context.Context, sess *censor.Session, scenario string, workers int, measurements []censor.Measurement, domainCap int, format, pushURL, tracePath string, metricsDump bool) error {
 	pbw := sess.PBWDomains()
 	if domainCap > 0 && domainCap < len(pbw) {
 		pbw = pbw[:domainCap]
 	}
+	runOpts := []censor.Option{censor.WithWorkers(workers)}
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if metricsDump || tracePath != "" {
+		// One registry for both exports: the trace flag alone still gets
+		// telemetry, so a trace and a later -metrics-dump line up.
+		reg = obs.NewRegistry()
+		runOpts = append(runOpts, censor.WithTelemetry(reg))
+	}
+	if tracePath != "" {
+		// Probe the path now, like -cpuprofile: fail before the campaign.
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %v", err)
+		}
+		defer tf.Close()
+		tracer = obs.NewTracer(nil) // clock bound by WithTrace
+		runOpts = append(runOpts, censor.WithTrace(tracer))
+		defer func() {
+			if err := tracer.WriteChromeTrace(tf); err != nil {
+				fmt.Fprintf(os.Stderr, "censorscan: -trace: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", tracer.Len(), tracePath)
+		}()
+	}
+	if metricsDump {
+		defer func() {
+			if err := reg.WritePrometheus(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "censorscan: -metrics-dump: %v\n", err)
+			}
+		}()
+	}
 	stream, err := sess.Run(ctx, censor.Campaign{
 		Domains:      pbw,
 		Measurements: measurements,
-	}, censor.WithWorkers(workers))
+	}, runOpts...)
 	if err != nil {
 		return err
 	}

@@ -90,6 +90,22 @@
 // Deliberate exceptions carry //repolint:allow <key> -- <reason> waivers
 // in the source they except; stale waivers are themselves findings.
 //
+// Everything above is observable through the obs package: zero-alloc
+// counters, gauges and power-of-two histograms plus a span tracer, all
+// nil-safe so an uninstrumented run pays a single pointer check. The
+// engine owns a per-world registry counting only virtual events —
+// reset with the world, merged into the campaign's per-process
+// registry after every task — so metrics stay byte-identical across
+// worker counts and replica pooling, a property the simdeterminism
+// analyzer and the campaign determinism test both pin down. Campaign
+// spans ride wall time; netbridge spans ride engine time, which lines
+// trace exports up with pcap timestamps. Surfaces: censord serves
+// Prometheus text at /metrics (and expvar at /debug/vars), censorscan
+// -trace writes Chrome trace_event JSON for Perfetto with -metrics-dump
+// printing the final registry, and censor.WithTelemetry /
+// netbridge.WithTelemetry hand any registry to library callers. See
+// README.md's Observability section.
+//
 // The monitor package is the service layer over all of that: a
 // Scheduler for recurring campaigns, a bounded concurrency-safe result
 // Store (ring buffers plus write-time per-run tallies, monotonic run

@@ -6,7 +6,10 @@
 // middlebox's block page; (2) a DNS lookup through MTNL's poisoned
 // default resolver, whose forged answer leads to an address that never
 // completes a TCP handshake. The whole exchange is captured to
-// realhttp.pcap — virtual timestamps, openable in Wireshark.
+// realhttp.pcap — virtual timestamps, openable in Wireshark — and the
+// bridge pump's timeline (engine leases, dial handshakes) is exported to
+// realhttp.trace.json, loadable in Perfetto or chrome://tracing on the
+// same virtual timebase as the pcap.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/censor"
 	"repro/internal/ispnet"
 	"repro/netbridge"
+	"repro/obs"
 )
 
 // blockPageMarker is the Idea middlebox's notification text (paper §5,
@@ -52,7 +56,10 @@ func run() error {
 		return fmt.Errorf("scenario %q lost its censored domains", "paper-2018")
 	}
 
-	bridge, err := netbridge.New(sess)
+	// The tracer's clock is bound to the world engine by WithTrace, so its
+	// spans share the pcap's virtual timebase.
+	tracer := obs.NewTracer(nil)
+	bridge, err := netbridge.New(sess, netbridge.WithTrace(tracer))
 	if err != nil {
 		return err
 	}
@@ -124,6 +131,16 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\nwrote realhttp.pcap: %d packets from the Idea client's wire\n", packets)
+
+	traceFile, err := os.Create("realhttp.trace.json")
+	if err != nil {
+		return err
+	}
+	defer traceFile.Close()
+	if err := tracer.WriteChromeTrace(traceFile); err != nil {
+		return err
+	}
+	fmt.Printf("wrote realhttp.trace.json: %d pump spans (virtual time)\n", tracer.Len())
 	return nil
 }
 

@@ -43,6 +43,9 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/ispnet":     true,
 	"repro/internal/probe":      true,
 	"repro/internal/trafficgen": true,
+	// The telemetry layer feeds instruments and spans from inside engine
+	// callbacks; a wall-clock stamp there would differ per rerun.
+	"repro/obs": true,
 }
 
 // wallClockFuncs are the time package functions that read or wait on the
@@ -94,6 +97,13 @@ func run(pass *analysis.Pass) error {
 		case "math/rand", "math/rand/v2":
 			if !seededConstructors[fn.Name()] {
 				pass.Reportf(id.Pos(), "%s.%s draws from the global random source; use the engine's seeded source (sim.Engine.Rand)", fn.Pkg().Name(), fn.Name())
+			}
+		case "repro/obs":
+			// obs.WallClock is the telemetry layer's waived time.Now: legal
+			// for process-side tracers, a rerun-breaker anywhere a span or
+			// metric stamp feeds deterministic state.
+			if fn.Name() == "WallClock" {
+				pass.Reportf(id.Pos(), "obs.WallClock reads the machine clock; sim-side spans and metric stamps must use engine virtual time (sim.Engine.Now)")
 			}
 		}
 	}

@@ -10,6 +10,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"repro/obs"
 )
 
 type engine struct{}
@@ -37,6 +39,17 @@ func globalRand() int {
 func seededRand(seed int64) int {
 	r := rand.New(rand.NewSource(seed))
 	return r.Intn(10)
+}
+
+// wallStamp stamps telemetry with the machine clock through the obs
+// escape hatch — banned in deterministic packages like the direct read.
+func wallStamp(tr *obs.Tracer) {
+	tr.SetClock(obs.WallClock) // want `obs.WallClock reads the machine clock`
+}
+
+// virtualStamp would wire an engine clock instead: allowed.
+func virtualStamp(tr *obs.Tracer, e engine) {
+	tr.SetClock(func() int64 { return int64(e.Now()) })
 }
 
 // waivedClock shows the escape hatch: the waiver names its reason.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/tcpsim"
 	"repro/internal/trafficgen"
 	"repro/internal/websim"
+	"repro/obs"
 )
 
 // Config sizes the world. The zero value is not useful; use DefaultConfig.
@@ -191,6 +192,12 @@ type World struct {
 
 // onReset registers a component rewind to run during Reset.
 func (w *World) onReset(fn func()) { w.resetters = append(w.resetters, fn) }
+
+// Obs returns the world's telemetry registry — the engine-owned per-world
+// registry every component resolved its instruments from at build time.
+// Its contents count virtual events only and rewind with Reset, so they
+// are byte-identical across pooled replicas and campaign workers.
+func (w *World) Obs() *obs.Registry { return w.Eng.Obs() }
 
 // Rebind marks a serialized ownership hand-off: the caller asserts that
 // all previous use of the world happened-before this call (it holds the

@@ -7,7 +7,17 @@ import (
 
 	"repro/internal/netpkt"
 	"repro/internal/sim"
+	"repro/obs"
 )
+
+// testFlowTable builds a flowTable with live obs instruments, the way the
+// boxes do, so the tests also cover the instrumented eviction path.
+func testFlowTable(timeout time.Duration, capacity int, now func() sim.Time) *flowTable {
+	reg := obs.NewRegistry()
+	return newFlowTable(timeout, capacity, now,
+		reg.Counter("middlebox_flow_evictions_total"),
+		reg.Gauge("middlebox_flow_occupancy"))
+}
 
 // ftClock is a hand-cranked clock for driving a flowTable without an engine.
 type ftClock struct{ t sim.Time }
@@ -41,7 +51,7 @@ func synAckPkt(i int) *netpkt.Packet {
 
 func TestFlowTableIdleExpiry(t *testing.T) {
 	clk := &ftClock{}
-	tbl := newFlowTable(150*time.Second, 0, clk.now)
+	tbl := testFlowTable(150*time.Second, 0, clk.now)
 
 	if st, _ := tbl.observe(synPkt(1)); st == nil || !st.synSeen {
 		t.Fatalf("SYN did not create flow state")
@@ -64,7 +74,7 @@ func TestFlowTableIdleExpiry(t *testing.T) {
 	if tbl.size() != 0 {
 		t.Fatalf("size after expiry = %d, want 0", tbl.size())
 	}
-	if tbl.evictions != 0 {
+	if tbl.evictions.Value() != 0 {
 		t.Fatalf("idle expiry counted as eviction")
 	}
 
@@ -76,21 +86,21 @@ func TestFlowTableIdleExpiry(t *testing.T) {
 
 func TestFlowTableReset(t *testing.T) {
 	clk := &ftClock{}
-	tbl := newFlowTable(150*time.Second, 2, clk.now)
+	tbl := testFlowTable(150*time.Second, 2, clk.now)
 
 	for i := 1; i <= 4; i++ {
 		tbl.observe(synPkt(i))
 		clk.advance(time.Second)
 	}
-	if tbl.size() != 2 || tbl.evictions != 2 {
-		t.Fatalf("precondition: size=%d evictions=%d, want 2/2", tbl.size(), tbl.evictions)
+	if tbl.size() != 2 || tbl.evictions.Value() != 2 {
+		t.Fatalf("precondition: size=%d evictions=%d, want 2/2", tbl.size(), tbl.evictions.Value())
 	}
 
 	tbl.reset()
 	if tbl.size() != 0 {
 		t.Fatalf("size after reset = %d, want 0", tbl.size())
 	}
-	if tbl.evictions != 0 {
+	if tbl.evictions.Value() != 0 {
 		t.Fatalf("evictions survived reset")
 	}
 
@@ -105,14 +115,14 @@ func TestFlowTableReset(t *testing.T) {
 
 func TestFlowTableCapacityEviction(t *testing.T) {
 	clk := &ftClock{}
-	tbl := newFlowTable(150*time.Second, 3, clk.now)
+	tbl := testFlowTable(150*time.Second, 3, clk.now)
 
 	for i := 1; i <= 3; i++ {
 		tbl.observe(synPkt(i))
 		clk.advance(time.Second)
 	}
-	if tbl.size() != 3 || tbl.evictions != 0 {
-		t.Fatalf("fill: size=%d evictions=%d", tbl.size(), tbl.evictions)
+	if tbl.size() != 3 || tbl.evictions.Value() != 0 {
+		t.Fatalf("fill: size=%d evictions=%d", tbl.size(), tbl.evictions.Value())
 	}
 
 	// Touch flow 1 so flow 2 becomes the coldest.
@@ -124,8 +134,8 @@ func TestFlowTableCapacityEviction(t *testing.T) {
 	if tbl.size() != 3 {
 		t.Fatalf("size after eviction = %d, want 3", tbl.size())
 	}
-	if tbl.evictions != 1 {
-		t.Fatalf("evictions = %d, want 1", tbl.evictions)
+	if tbl.evictions.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1", tbl.evictions.Value())
 	}
 	if st, _ := tbl.observe(ackPkt(2)); st != nil {
 		t.Fatalf("LRU victim (flow 2) still tracked")
@@ -147,8 +157,8 @@ func TestFlowTableCapacityEviction(t *testing.T) {
 		tbl.observe(synPkt(i))
 		clk.advance(time.Second)
 	}
-	if tbl.evictions != 1 {
-		t.Fatalf("evictions = %d, want 1", tbl.evictions)
+	if tbl.evictions.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1", tbl.evictions.Value())
 	}
 	if st, _ := tbl.observe(ackPkt(1)); st != nil {
 		t.Fatalf("evicted established flow still tracked")
@@ -157,7 +167,7 @@ func TestFlowTableCapacityEviction(t *testing.T) {
 
 func TestFlowTableCapacityPrefersExpired(t *testing.T) {
 	clk := &ftClock{}
-	tbl := newFlowTable(100*time.Second, 2, clk.now)
+	tbl := testFlowTable(100*time.Second, 2, clk.now)
 
 	tbl.observe(synPkt(1))
 	tbl.observe(synPkt(2))
@@ -166,8 +176,8 @@ func TestFlowTableCapacityPrefersExpired(t *testing.T) {
 	// entry stays until lazily purged on access.
 	clk.advance(101 * time.Second)
 	tbl.observe(synPkt(3))
-	if tbl.evictions != 0 {
-		t.Fatalf("expired entries counted as capacity evictions: %d", tbl.evictions)
+	if tbl.evictions.Value() != 0 {
+		t.Fatalf("expired entries counted as capacity evictions: %d", tbl.evictions.Value())
 	}
 	if tbl.size() != 2 {
 		t.Fatalf("size = %d, want 2 (one expired entry dropped for room)", tbl.size())
@@ -182,7 +192,7 @@ func TestFlowTableCapacityPrefersExpired(t *testing.T) {
 
 func TestFlowTableTupleReuseRestartsFlow(t *testing.T) {
 	clk := &ftClock{}
-	tbl := newFlowTable(150*time.Second, 0, clk.now)
+	tbl := testFlowTable(150*time.Second, 0, clk.now)
 
 	tbl.observe(synPkt(1))
 	tbl.observe(synAckPkt(1))

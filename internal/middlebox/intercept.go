@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/netpkt"
 	"repro/internal/netsim"
+	"repro/obs"
 )
 
 // Interceptor is an inline, transparent-proxy-like middlebox (Idea overt,
@@ -29,6 +30,11 @@ type Interceptor struct {
 	// dropped on already-triggered flows (the timed-out 4-way teardowns).
 	Triggers   int
 	Blackholed int
+
+	// Per-box obs mirrors, labeled by box ID in the world registry.
+	cTriggers   *obs.Counter
+	cBlackholed *obs.Counter
+	cResets     *obs.Counter
 }
 
 // NewInterceptor builds an interceptive middlebox; attach it with
@@ -38,13 +44,19 @@ func NewInterceptor(net *netsim.Network, cfg Config, overt bool) *Interceptor {
 	if overt {
 		im.notif = cfg.Style.ResponseBytes()
 	}
-	im.tbl = newFlowTable(cfg.timeout(), cfg.flowCapacity(), net.Engine().Now)
+	reg := net.Engine().Obs()
+	im.cTriggers = reg.Counter(obs.Name("middlebox_triggers_total", "box", cfg.ID))
+	im.cBlackholed = reg.Counter(obs.Name("middlebox_blackholed_total", "box", cfg.ID))
+	im.cResets = reg.Counter(obs.Name("middlebox_rst_injections_total", "box", cfg.ID))
+	im.tbl = newFlowTable(cfg.timeout(), cfg.flowCapacity(), net.Engine().Now,
+		reg.Counter(obs.Name("middlebox_flow_evictions_total", "box", cfg.ID)),
+		reg.Gauge(obs.Name("middlebox_flow_occupancy", "box", cfg.ID)))
 	return im
 }
 
 // Evictions reports live flows displaced by capacity pressure since the
-// last Reset.
-func (im *Interceptor) Evictions() uint64 { return im.tbl.evictions }
+// last Reset. It is a shim over the box's obs eviction counter.
+func (im *Interceptor) Evictions() uint64 { return im.tbl.evictions.Value() }
 
 // Len reports the number of currently tracked flows.
 func (im *Interceptor) Len() int { return im.tbl.size() }
@@ -55,6 +67,9 @@ func (im *Interceptor) Reset() {
 	im.tbl.reset()
 	im.Triggers = 0
 	im.Blackholed = 0
+	im.cTriggers.Reset()
+	im.cBlackholed.Reset()
+	im.cResets.Reset()
 }
 
 // Process implements netsim.Inline.
@@ -73,6 +88,7 @@ func (im *Interceptor) Process(pkt *netpkt.Packet, at *netsim.Router) bool {
 		// Everything from client to the blocked site after the trigger is
 		// filtered — the paper saw the client's entire teardown time out.
 		im.Blackholed++
+		im.cBlackholed.Inc()
 		return true
 	}
 	if !c2s || !st.established || len(pkt.TCP.Payload) == 0 {
@@ -86,6 +102,7 @@ func (im *Interceptor) Process(pkt *netpkt.Packet, at *netsim.Router) bool {
 		return false
 	}
 	im.Triggers++
+	im.cTriggers.Inc()
 	st.blackholed = true
 
 	client, server := pkt.IP.Src, pkt.IP.Dst
@@ -119,6 +136,7 @@ func (im *Interceptor) Process(pkt *netpkt.Packet, at *netsim.Router) bool {
 				Flags: netpkt.RST | netpkt.ACK, Window: 65535,
 			})
 			p.IP.ID = im.Cfg.Style.IPID
+			im.cResets.Inc()
 			im.net.InjectAt(at, p)
 		})
 	}
@@ -127,6 +145,7 @@ func (im *Interceptor) Process(pkt *netpkt.Packet, at *netsim.Router) bool {
 			SrcPort: cPort, DstPort: sPort,
 			Seq: seqToServer, Flags: netpkt.RST, Window: 65535,
 		})
+		im.cResets.Inc()
 		im.net.InjectAt(at, p)
 	})
 	return true // the GET never reaches the server

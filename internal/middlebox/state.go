@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/netpkt"
 	"repro/internal/sim"
+	"repro/obs"
 )
 
 // Scope selects which traffic a middlebox inspects, the knob behind the
@@ -170,31 +171,42 @@ type flowTable struct {
 	head, tail int32
 	timeout    time.Duration
 	capacity   int
-	evictions  uint64
 	now        func() sim.Time
+	// evictions and occupancy are obs instruments from the owning world's
+	// registry — the single source of truth the boxes' Evictions()/Len()
+	// accessors now read through. Both count virtual events only, so their
+	// values are deterministic; nil instruments are no-ops.
+	evictions *obs.Counter
+	occupancy *obs.Gauge
 }
 
-func newFlowTable(timeout time.Duration, capacity int, now func() sim.Time) *flowTable {
+func newFlowTable(timeout time.Duration, capacity int, now func() sim.Time,
+	evictions *obs.Counter, occupancy *obs.Gauge) *flowTable {
 	if capacity <= 0 {
 		capacity = defaultFlowCapacity
 	}
 	return &flowTable{
-		flows:    make(map[netpkt.FlowKey]int32),
-		head:     -1,
-		tail:     -1,
-		timeout:  timeout,
-		capacity: capacity,
-		now:      now,
+		flows:     make(map[netpkt.FlowKey]int32),
+		head:      -1,
+		tail:      -1,
+		timeout:   timeout,
+		capacity:  capacity,
+		now:       now,
+		evictions: evictions,
+		occupancy: occupancy,
 	}
 }
 
 // reset drops all flow state in place, keeping map and arena capacity.
+// Rewinding the instruments here is idempotent with the engine-registry
+// reset World.Reset performs, and keeps a standalone box Reset coherent.
 func (t *flowTable) reset() {
 	clear(t.flows)
 	t.entries = t.entries[:0]
 	t.free = t.free[:0]
 	t.head, t.tail = -1, -1
-	t.evictions = 0
+	t.evictions.Reset()
+	t.occupancy.Set(0)
 }
 
 func (t *flowTable) size() int { return len(t.flows) }
@@ -250,6 +262,7 @@ func (t *flowTable) drop(idx int32) {
 	t.unlink(idx)
 	delete(t.flows, t.entries[idx].key)
 	t.free = append(t.free, idx)
+	t.occupancy.Set(int64(len(t.flows)))
 }
 
 // get returns the slot for the client-first key, purging it when expired;
@@ -285,7 +298,7 @@ func (t *flowTable) create(key netpkt.FlowKey) int32 {
 		}
 		for t.head >= 0 && len(t.flows) >= t.capacity {
 			t.drop(t.head)
-			t.evictions++
+			t.evictions.Inc()
 		}
 	}
 	var idx int32
@@ -299,6 +312,7 @@ func (t *flowTable) create(key netpkt.FlowKey) int32 {
 	t.entries[idx] = flowState{key: key, prev: -1, next: -1, lastSeen: t.now()}
 	t.flows[key] = idx
 	t.pushTail(idx)
+	t.occupancy.Set(int64(len(t.flows)))
 	return idx
 }
 

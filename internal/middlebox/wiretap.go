@@ -6,6 +6,7 @@ import (
 	"repro/internal/httpwire"
 	"repro/internal/netpkt"
 	"repro/internal/netsim"
+	"repro/obs"
 )
 
 // ResponseBytes renders the forged HTTP response carrying the censorship
@@ -47,6 +48,12 @@ type Wiretap struct {
 	// deliberately delayed.
 	Triggers  int
 	LostRaces int
+
+	// Per-box obs mirrors of the counters above plus the injected-RST
+	// count, labeled by box ID in the world registry.
+	cTriggers  *obs.Counter
+	cLostRaces *obs.Counter
+	cResets    *obs.Counter
 }
 
 // NewWiretap builds a wiretap middlebox; attach it with Router.AttachTap.
@@ -58,13 +65,19 @@ func NewWiretap(net *netsim.Network, cfg Config, lossProb float64) *Wiretap {
 		net:         net,
 		notif:       cfg.Style.ResponseBytes(),
 	}
-	w.tbl = newFlowTable(cfg.timeout(), cfg.flowCapacity(), net.Engine().Now)
+	reg := net.Engine().Obs()
+	w.cTriggers = reg.Counter(obs.Name("middlebox_triggers_total", "box", cfg.ID))
+	w.cLostRaces = reg.Counter(obs.Name("middlebox_lost_races_total", "box", cfg.ID))
+	w.cResets = reg.Counter(obs.Name("middlebox_rst_injections_total", "box", cfg.ID))
+	w.tbl = newFlowTable(cfg.timeout(), cfg.flowCapacity(), net.Engine().Now,
+		reg.Counter(obs.Name("middlebox_flow_evictions_total", "box", cfg.ID)),
+		reg.Gauge(obs.Name("middlebox_flow_occupancy", "box", cfg.ID)))
 	return w
 }
 
 // Evictions reports live flows displaced by capacity pressure since the
-// last Reset.
-func (w *Wiretap) Evictions() uint64 { return w.tbl.evictions }
+// last Reset. It is a shim over the box's obs eviction counter.
+func (w *Wiretap) Evictions() uint64 { return w.tbl.evictions.Value() }
 
 // Len reports the number of currently tracked flows.
 func (w *Wiretap) Len() int { return w.tbl.size() }
@@ -75,6 +88,9 @@ func (w *Wiretap) Reset() {
 	w.tbl.reset()
 	w.Triggers = 0
 	w.LostRaces = 0
+	w.cTriggers.Reset()
+	w.cLostRaces.Reset()
+	w.cResets.Reset()
 }
 
 // Observe implements netsim.Tap.
@@ -97,6 +113,7 @@ func (w *Wiretap) Observe(pkt *netpkt.Packet, at *netsim.Router) {
 		return
 	}
 	w.Triggers++
+	w.cTriggers.Inc()
 
 	client, server := pkt.IP.Src, pkt.IP.Dst
 	cPort, sPort := pkt.TCP.SrcPort, pkt.TCP.DstPort
@@ -108,6 +125,7 @@ func (w *Wiretap) Observe(pkt *netpkt.Packet, at *netsim.Router) {
 	if w.net.Engine().Rand().Float64() < w.LossProb {
 		delay = w.SlowDelay
 		w.LostRaces++
+		w.cLostRaces.Inc()
 	}
 	eng := w.net.Engine()
 	// Forged notification: 200 OK body, FIN+PSH+ACK, server's address.
@@ -130,6 +148,7 @@ func (w *Wiretap) Observe(pkt *netpkt.Packet, at *netsim.Router) {
 			Flags: netpkt.RST, Window: 65535,
 		})
 		p.IP.ID = w.Cfg.Style.IPID
+		w.cResets.Inc()
 		w.net.InjectAt(at, p)
 	})
 }

@@ -1,6 +1,10 @@
 package netpkt
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/obs"
+)
 
 // BufPool is a free list of byte buffers for one engine's packet path:
 // wire images marshaled for ingress filters, ICMP quotes, and any other
@@ -20,6 +24,9 @@ type BufPool struct {
 	classes [11][][]byte // 1<<6 .. 1<<16
 	// Gets, Hits count traffic for instrumentation.
 	Gets, Hits uint64
+	// ObsGets, ObsHits mirror Gets/Hits into the owning world's telemetry
+	// registry when wired (netsim.New does); nil instruments are no-ops.
+	ObsGets, ObsHits *obs.Counter
 	// guard enforces the single-goroutine contract in race and
 	// repolint_debug builds; it compiles to nothing otherwise.
 	guard poolGuard
@@ -56,6 +63,7 @@ func classFor(n int) int {
 func (p *BufPool) Get(n int) []byte {
 	p.guard.check()
 	p.Gets++
+	p.ObsGets.Inc()
 	c := classFor(n)
 	if c < 0 {
 		//repolint:allow alloc -- over-maximum requests bypass the pool by design
@@ -66,6 +74,7 @@ func (p *BufPool) Get(n int) []byte {
 		free[len(free)-1] = nil
 		p.classes[c] = free[:len(free)-1]
 		p.Hits++
+		p.ObsHits.Inc()
 		return b[:0]
 	}
 	//repolint:allow alloc -- the pool refill is the designated allocation point

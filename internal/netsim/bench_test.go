@@ -15,7 +15,14 @@ import (
 // addressed to B.
 func forwardChain(tb testing.TB, hops int) (*sim.Engine, *Host, *netpkt.Packet) {
 	tb.Helper()
-	eng := sim.NewEngine(1)
+	return forwardChainOn(tb, sim.NewEngine(1), hops)
+}
+
+// forwardChainOn is forwardChain on a caller-supplied engine, so the
+// telemetry benchmark can strip the engine's registry before the network
+// resolves its instruments.
+func forwardChainOn(tb testing.TB, eng *sim.Engine, hops int) (*sim.Engine, *Host, *netpkt.Packet) {
+	tb.Helper()
 	n := New(eng)
 	routers := make([]*Router, hops)
 	for i := range routers {
@@ -92,6 +99,59 @@ func BenchmarkPacketForwardTapped(b *testing.B) {
 		pkt.IP.TTL = 64
 		src.Send(pkt)
 		eng.Run()
+	}
+}
+
+// BenchmarkTelemetryOverhead prices the obs layer on the same 8-hop
+// pipeline: "instrumented" runs with the engine's live registry (the
+// default), "stripped" with StripTelemetry rebinding every instrument to
+// nil before the network resolves them. The delta is the telemetry tax;
+// CI records both and fails if either variant allocates.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, strip bool) {
+		eng := sim.NewEngine(1)
+		if strip {
+			eng.StripTelemetry()
+		}
+		_, src, pkt := forwardChainOn(b, eng, 8)
+		pkt.IP.TTL = 64
+		src.Send(pkt)
+		eng.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pkt.IP.TTL = 64
+			src.Send(pkt)
+			eng.Run()
+		}
+	}
+	b.Run("instrumented", func(b *testing.B) { run(b, false) })
+	b.Run("stripped", func(b *testing.B) { run(b, true) })
+}
+
+// TestTelemetryCountsForward cross-checks the instruments against the
+// bench topology: one warm 8-hop send forwards the packet through every
+// router and delivers it once, visible in the engine registry.
+func TestTelemetryCountsForward(t *testing.T) {
+	eng, src, pkt := forwardChain(t, 8)
+	reg := eng.Obs()
+	pkt.IP.TTL = 64
+	src.Send(pkt)
+	eng.Run()
+	fwd := reg.Counter("netsim_packets_forwarded_total").Value()
+	del := reg.Counter("netsim_packets_delivered_total").Value()
+	if fwd < 8 {
+		t.Errorf("forwarded = %d, want >= 8 (one per hop)", fwd)
+	}
+	if del != 1 {
+		t.Errorf("delivered = %d, want 1", del)
+	}
+	if drops := reg.Counter("netsim_packets_dropped_total").Value(); drops != 0 {
+		t.Errorf("dropped = %d, want 0", drops)
+	}
+	eng.Reset()
+	if reg.Counter("netsim_packets_forwarded_total").Value() != 0 {
+		t.Errorf("engine reset did not rewind the world registry")
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/netpkt"
 	"repro/internal/sim"
+	"repro/obs"
 )
 
 // Tap receives a copy of every packet crossing the router it is attached
@@ -117,6 +118,12 @@ type Network struct {
 	arriveFn  func(a, b any)
 	deliverFn func(a, b any)
 	sendFn    func(a, b any)
+
+	// Per-world telemetry, resolved once from the engine registry: packet
+	// counts are virtual-event driven and thus deterministic.
+	cForwarded *obs.Counter
+	cDelivered *obs.Counter
+	cDropped   *obs.Counter
 }
 
 // New creates an empty network on the given engine.
@@ -125,6 +132,12 @@ func New(eng *sim.Engine) *Network {
 	n.arriveFn = func(a, b any) { n.arriveAtRouter(a.(*Router), b.(*netpkt.Packet)) }
 	n.deliverFn = func(a, b any) { a.(*Host).deliver(b.(*netpkt.Packet)) }
 	n.sendFn = func(a, b any) { n.SendFromHost(a.(*Host), b.(*netpkt.Packet)) }
+	reg := eng.Obs()
+	n.cForwarded = reg.Counter("netsim_packets_forwarded_total")
+	n.cDelivered = reg.Counter("netsim_packets_delivered_total")
+	n.cDropped = reg.Counter("netsim_packets_dropped_total")
+	n.pool.ObsGets = reg.Counter("netsim_pool_gets_total")
+	n.pool.ObsHits = reg.Counter("netsim_pool_hits_total")
 	return n
 }
 
@@ -431,6 +444,7 @@ func (n *Network) InjectAt(r *Router, pkt *netpkt.Packet) {
 //
 //repolint:hotpath
 func (n *Network) arriveAtRouter(r *Router, pkt *netpkt.Packet) {
+	n.cForwarded.Inc()
 	for _, t := range r.taps {
 		t.Observe(pkt, r)
 	}
@@ -478,6 +492,7 @@ func (n *Network) timeExceeded(r *Router, expired *netpkt.Packet) *netpkt.Packet
 func (n *Network) forwardFrom(r *Router, pkt *netpkt.Packet) {
 	dst := pkt.IP.Dst
 	if h, ok := n.hosts[dst]; ok && h.router == r {
+		n.cDelivered.Inc()
 		n.eng.ScheduleCall(h.accessLatency, n.deliverFn, h, pkt)
 		return
 	}
@@ -490,17 +505,20 @@ func (n *Network) forwardFrom(r *Router, pkt *netpkt.Packet) {
 	home := n.homeRouter(dst)
 	if home == nil {
 		n.Drops++
+		n.cDropped.Inc()
 		return
 	}
 	if home == r {
 		// Dead address inside a claimed prefix: silently dropped, like a
 		// non-responding IP in a scanned ISP prefix.
 		n.Drops++
+		n.cDropped.Inc()
 		return
 	}
 	next := n.nextToward(r, n.homeRouter(pkt.IP.Src), home)
 	if next == nil {
 		n.Drops++
+		n.cDropped.Inc()
 		return
 	}
 	n.eng.ScheduleCall(n.linkLatency(r.ID, next.ID), n.arriveFn, next, pkt)

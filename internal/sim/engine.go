@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/obs"
 )
 
 // Time is a virtual timestamp measured from the start of the simulation.
@@ -76,6 +78,7 @@ func (t Timer) Stop() bool {
 	ev.dead = true
 	ev.fn, ev.fn2, ev.a, ev.b = nil, nil, nil, nil
 	e.deadCount++
+	e.cCancelled.Inc()
 	e.maybeCompact()
 	return true
 }
@@ -96,11 +99,54 @@ type Engine struct {
 	// deadCount is how many cancelled events still sit in heap awaiting
 	// lazy removal.
 	deadCount int
+
+	// reg is the engine-owned telemetry registry — the per-world registry
+	// every component built on this engine resolves instruments from. Its
+	// contents count virtual events only, so they are as deterministic as
+	// the event order itself: Reset rewinds them with the clock, and a
+	// reset world's counters are byte-identical to a fresh build's.
+	reg        *obs.Registry
+	cScheduled *obs.Counter
+	cRun       *obs.Counter
+	cCancelled *obs.Counter
+	cRecycled  *obs.Counter
+	gHeapDepth *obs.Gauge
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	e := &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	e.reg = obs.NewRegistry()
+	e.bindObs()
+	return e
+}
+
+// bindObs resolves the engine's own instruments from its registry. With
+// reg nil (StripTelemetry) every instrument comes back nil, and nil
+// instruments are no-ops.
+func (e *Engine) bindObs() {
+	e.cScheduled = e.reg.Counter("sim_events_scheduled_total")
+	e.cRun = e.reg.Counter("sim_events_run_total")
+	e.cCancelled = e.reg.Counter("sim_events_cancelled_total")
+	e.cRecycled = e.reg.Counter("sim_arena_recycles_total")
+	e.gHeapDepth = e.reg.Gauge("sim_heap_depth")
+}
+
+// Obs returns the engine-owned per-world telemetry registry. Components
+// built on the engine (network, middleboxes, traffic generators) resolve
+// their instruments here at construction time, so World.Reset — which
+// resets the engine — rewinds every world metric in one place. Returns
+// nil after StripTelemetry.
+func (e *Engine) Obs() *obs.Registry { return e.reg }
+
+// StripTelemetry discards the engine's registry and rebinds every
+// instrument to nil, turning the telemetry layer into no-ops. Call it
+// right after NewEngine, before wiring components, to measure or run
+// without instrumentation; components built earlier keep counting into
+// the discarded registry.
+func (e *Engine) StripTelemetry() {
+	e.reg = nil
+	e.bindObs()
 }
 
 // Reset restores the engine to its just-constructed state: the clock back
@@ -127,6 +173,7 @@ func (e *Engine) Reset() {
 		e.free = append(e.free, int32(i))
 	}
 	e.rng = rand.New(rand.NewSource(e.seed))
+	e.reg.Reset()
 }
 
 // Now returns the current virtual time.
@@ -186,6 +233,8 @@ func (e *Engine) alloc(d Duration) int32 {
 	ev.seq = e.seq
 	e.seq++
 	e.heapPush(idx)
+	e.cScheduled.Inc()
+	e.gHeapDepth.Set(int64(len(e.heap)))
 	return idx
 }
 
@@ -198,6 +247,7 @@ func (e *Engine) release(idx int32) {
 	ev.fn, ev.fn2, ev.a, ev.b = nil, nil, nil, nil
 	ev.dead = false
 	e.free = append(e.free, idx)
+	e.cRecycled.Inc()
 }
 
 // less orders heap entries by (at, seq); seq is unique so the order is
@@ -318,6 +368,8 @@ func (e *Engine) step() bool {
 		e.release(idx)
 		e.now = at
 		e.events++
+		e.cRun.Inc()
+		e.gHeapDepth.Set(int64(len(e.heap)))
 		if fn != nil {
 			fn()
 		} else {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/netpkt"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/obs"
 )
 
 // BasePort is the first local port a generator host assigns its users;
@@ -82,7 +83,14 @@ type Generator struct {
 	targets []Target
 	isps    []*genISP
 	users   int
-	flows   uint64
+
+	// Obs instruments from the world registry; all virtual-event driven,
+	// so background-load telemetry is deterministic like the load itself.
+	cFlows    *obs.Counter
+	cWakes    *obs.Counter
+	cReqDNS   *obs.Counter
+	cReqHTTP  *obs.Counter
+	cReqHTTPS *obs.Counter
 }
 
 type genISP struct {
@@ -153,6 +161,12 @@ func deadlineFn(a, b any) { a.(*user).expire() }
 // draws engine randomness or schedules events — Start does that.
 func New(eng *sim.Engine, targets []Target, isps []ISPConfig) *Generator {
 	g := &Generator{eng: eng, targets: targets}
+	reg := eng.Obs()
+	g.cFlows = reg.Counter("trafficgen_flows_total")
+	g.cWakes = reg.Counter("trafficgen_wakes_total")
+	g.cReqDNS = reg.Counter(obs.Name("trafficgen_requests_total", "kind", "dns"))
+	g.cReqHTTP = reg.Counter(obs.Name("trafficgen_requests_total", "kind", "http"))
+	g.cReqHTTPS = reg.Counter(obs.Name("trafficgen_requests_total", "kind", "https"))
 	for i := range isps {
 		cfg := isps[i]
 		if cfg.Users <= 0 || len(cfg.Hosts) == 0 || len(targets) == 0 {
@@ -204,8 +218,8 @@ func New(eng *sim.Engine, targets []Target, isps []ISPConfig) *Generator {
 func (g *Generator) Users() int { return g.users }
 
 // Flows returns the number of flow attempts completed or abandoned since
-// the last Start.
-func (g *Generator) Flows() uint64 { return g.flows }
+// the last Start. It is a shim over the generator's obs flow counter.
+func (g *Generator) Flows() uint64 { return g.cFlows.Value() }
 
 // Start rewinds every user to idle and primes one staggered wake per user
 // from the engine RNG. It runs once at the end of world construction and
@@ -214,7 +228,7 @@ func (g *Generator) Flows() uint64 { return g.flows }
 // draw sequence — and therefore all background load — is identical, which
 // is what keeps a reset world byte-identical to a fresh one.
 func (g *Generator) Start() {
-	g.flows = 0
+	g.cFlows.Reset()
 	rng := g.eng.Rand()
 	for _, gi := range g.isps {
 		think := gi.cfg.think
@@ -236,11 +250,13 @@ func (g *Generator) Start() {
 func (u *user) wake() {
 	gh := u.gh
 	gi := gh.isp
+	gh.g.cWakes.Inc()
 	rng := gh.g.eng.Rand()
 	tgt := &gh.g.targets[sampleCDF(gi.cdf, rng.Float64())]
 	mix := rng.Float64()
 	switch {
 	case mix < gi.dnsCut:
+		gh.g.cReqDNS.Inc()
 		u.state = stDNS
 		u.dst = gi.cfg.resolver
 		u.udpDgram = netpkt.UDPDatagram{SrcPort: u.port, DstPort: 53, Payload: tgt.DNSQ}
@@ -255,6 +271,9 @@ func (u *user) wake() {
 		if mix >= gi.httpCut {
 			payload = tgt.TLS
 			u.dstPort = 443
+			gh.g.cReqHTTPS.Inc()
+		} else {
+			gh.g.cReqHTTP.Inc()
 		}
 		u.state = stSyn
 		u.dst = tgt.Addr
@@ -382,7 +401,7 @@ func (u *user) expire() {
 //repolint:hotpath
 func (u *user) rest() {
 	g := u.gh.g
-	g.flows++
+	g.cFlows.Inc()
 	u.state = stIdle
 	think := u.gh.isp.cfg.think
 	d := g.eng.Rand().ExpFloat64() * think

@@ -2,18 +2,41 @@ package monitor
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
 	"repro/censor"
+	"repro/obs"
 )
 
 // maxPushBytes caps one POST /v1/results body — a defensive bound on
 // top of the store's ring/retention bounds.
 const maxPushBytes = 64 << 20
+
+// HandlerOption configures NewHandler beyond the store and scheduler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	reg *obs.Registry
+}
+
+// WithMetrics mounts two extra endpoints over reg:
+//
+//	GET /metrics     Prometheus text exposition of every instrument
+//	GET /debug/vars  standard expvar JSON, with the registry published
+//	                 under the "censord" key
+//
+// Pass the same registry the store, scheduler jobs (censor.WithTelemetry)
+// and bridges write into, so one scrape sees the whole stack.
+func WithMetrics(reg *obs.Registry) HandlerOption {
+	return func(c *handlerConfig) { c.reg = reg }
+}
 
 // NewHandler builds censord's HTTP face over a store and an optional
 // scheduler (nil disables the campaign-trigger endpoint; the store-only
@@ -21,7 +44,9 @@ const maxPushBytes = 64 << 20
 //
 // Endpoints (all JSON unless noted):
 //
-//	GET  /healthz                 liveness + store counters
+//	GET  /healthz                 liveness, build info, uptime, store counters
+//	GET  /metrics                 Prometheus text (with WithMetrics)
+//	GET  /debug/vars              expvar JSON (with WithMetrics)
 //	GET  /v1/scenarios            the scenario preset registry
 //	GET  /v1/runs                 retained runs, ascending epoch
 //	POST /v1/campaigns            trigger a job run now: {"job":"name"}
@@ -34,15 +59,38 @@ const maxPushBytes = 64 << 20
 // measurement, mechanism, domain, run, since_run, latest, blocked=true.
 // Every handler is safe under concurrent ingestion — that is the store's
 // contract, exercised by the tests under -race.
-func NewHandler(store *Store, sched *Scheduler) http.Handler {
+func NewHandler(store *Store, sched *Scheduler, opts ...HandlerOption) http.Handler {
+	var hc handlerConfig
+	for _, o := range opts {
+		o(&hc)
+	}
 	mux := http.NewServeMux()
+	started := time.Now()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok",
-			"stats":  store.Stats(),
+			"status":    "ok",
+			"go":        runtime.Version(),
+			"revision":  vcsRevision(),
+			"uptime":    time.Since(started).Round(time.Second).String(),
+			"uptime_ns": time.Since(started).Nanoseconds(),
+			"stats":     store.Stats(),
 		})
 	})
+
+	if hc.reg != nil {
+		reg := hc.reg
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w) //nolint:errcheck // client disconnects are not actionable
+		})
+		// Publish once per process: NewHandler may run many times in tests,
+		// and expvar panics on duplicate names.
+		if expvar.Get("censord") == nil {
+			expvar.Publish("censord", expvar.Func(func() any { return reg.Snapshot() }))
+		}
+		mux.Handle("GET /debug/vars", expvar.Handler())
+	}
 
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
 		type scenarioInfo struct {
@@ -281,6 +329,21 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 		return def, fmt.Errorf("%s: %v", name, err)
 	}
 	return n, nil
+}
+
+// vcsRevision extracts the VCS commit a binary was built from, when the
+// toolchain stamped one ("" otherwise — e.g. `go test` binaries).
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/censor"
+	"repro/obs"
 )
 
 // key addresses one ring buffer: raw results are retained per
@@ -142,6 +143,14 @@ type Store struct {
 	ingested uint64 // results ever written
 	evicted  uint64 // results displaced from rings
 
+	// obs mirrors of the counters above, plus run opens; nil (no-op)
+	// instruments unless WithTelemetry was given. The atomic Inc calls
+	// ride inside the store lock, so ingest stays one lock round-trip.
+	reg       *obs.Registry
+	cRuns     *obs.Counter
+	cIngested *obs.Counter
+	cEvicted  *obs.Counter
+
 	direct *RunSink // implicit run behind the Sink interface
 }
 
@@ -174,6 +183,13 @@ func withClock(fn func() time.Time) StoreOption {
 	return func(s *Store) { s.clock = fn }
 }
 
+// WithTelemetry mirrors the store's counters — runs opened, results
+// ingested, ring evictions — into reg under the monitor_* prefix, for
+// the /metrics endpoint. A nil registry leaves them as no-ops.
+func WithTelemetry(reg *obs.Registry) StoreOption {
+	return func(s *Store) { s.reg = reg }
+}
+
 // NewStore builds an empty store.
 func NewStore(opts ...StoreOption) *Store {
 	s := &Store{
@@ -186,6 +202,9 @@ func NewStore(opts ...StoreOption) *Store {
 	for _, o := range opts {
 		o(s)
 	}
+	s.cRuns = s.reg.Counter("monitor_runs_total")
+	s.cIngested = s.reg.Counter("monitor_results_ingested_total")
+	s.cEvicted = s.reg.Counter("monitor_results_evicted_total")
 	return s
 }
 
@@ -219,6 +238,7 @@ func (s *Store) beginLocked(scenario, source string) *RunSink {
 		blocked: map[string]map[string]bool{},
 	}
 	s.nextRun++
+	s.cRuns.Inc()
 	s.runs = append(s.runs, st)
 	if len(s.runs) > s.runCap {
 		// Evict the oldest finished run. An in-flight run is never
@@ -312,6 +332,7 @@ func (s *Store) writeLocked(run int, r censor.Result) error {
 	}
 	s.nextSeq++
 	s.ingested++
+	s.cIngested.Inc()
 	if rg.append(StoredResult{
 		Result:   r,
 		Run:      run,
@@ -320,6 +341,7 @@ func (s *Store) writeLocked(run int, r censor.Result) error {
 		Time:     s.clock(),
 	}) {
 		s.evicted++
+		s.cEvicted.Inc()
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ispnet"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
+	"repro/obs"
 )
 
 // ErrBridgeClosed is returned by operations submitted after Close, and
@@ -41,6 +42,23 @@ func WithDialTimeout(d time.Duration) Option {
 	}
 }
 
+// WithTelemetry points the bridge's instruments at reg: pump wake latency
+// (wall nanoseconds from call submission to pump pickup), lease cuts
+// (engine leases ended early by a wake hook), dials and accepts. A nil
+// registry leaves the instruments as no-ops.
+func WithTelemetry(reg *obs.Registry) Option {
+	return func(b *Bridge) { b.reg = reg }
+}
+
+// WithTrace records pump activity — engine leases and dial handshakes —
+// into tr. The bridge rebinds the tracer's clock to the world engine's
+// virtual time, so the exported trace lines up with pcap timestamps
+// rather than wall time; hand the bridge a fresh tracer. Spans are only
+// recorded on the pump goroutine.
+func WithTrace(tr *obs.Tracer) Option {
+	return func(b *Bridge) { b.tr = tr }
+}
+
 // Bridge owns a censor session's world and runs its engine on a single
 // pump goroutine, exposing real net.Conn / net.Listener endpoints seated
 // on bridge hosts inside the simulated ISPs. Close releases the world
@@ -53,6 +71,15 @@ type Bridge struct {
 	lease       time.Duration
 	dialTimeout time.Duration
 
+	// Telemetry: reg/tr are set by options; the instruments resolved from
+	// them are nil-safe no-ops when absent.
+	reg        *obs.Registry
+	tr         *obs.Tracer
+	hWake      *obs.Histogram
+	cLeaseCuts *obs.Counter
+	cDials     *obs.Counter
+	cAccepts   *obs.Counter
+
 	calls     chan *call
 	stop      chan struct{}
 	done      chan struct{}
@@ -64,10 +91,12 @@ type Bridge struct {
 	eps     map[string]*endpoint
 }
 
-// call is one closure submitted to the pump. done is closed after fn ran.
+// call is one closure submitted to the pump. done is closed after fn ran;
+// submitted stamps the hand-off so the pump can measure its wake latency.
 type call struct {
-	fn   func()
-	done chan struct{}
+	fn        func()
+	done      chan struct{}
+	submitted time.Time
 }
 
 // waiter is a parked blocking operation: ready is polled by the pump
@@ -102,9 +131,22 @@ func New(sess *censor.Session, opts ...Option) (*Bridge, error) {
 	for _, o := range opts {
 		o(b)
 	}
+	b.hWake = b.reg.Histogram("netbridge_wake_ns")
+	b.cLeaseCuts = b.reg.Counter("netbridge_lease_cuts_total")
+	b.cDials = b.reg.Counter("netbridge_dials_total")
+	b.cAccepts = b.reg.Counter("netbridge_accepts_total")
+	// The clock is rebound before the pump starts, so every span the pump
+	// records carries engine virtual time.
+	b.tr.SetClock(b.virtualNow)
 	go b.pump()
 	return b, nil
 }
+
+// virtualNow is the trace clock: the world engine's current virtual time
+// in nanoseconds. Only the pump records spans, so only the pump calls it.
+//
+//repolint:pump
+func (b *Bridge) virtualNow() int64 { return int64(b.eng.Now()) }
 
 // Close shuts down the pump, fails every blocked operation with
 // ErrBridgeClosed, detaches the bridge hosts, and releases the session
@@ -122,7 +164,7 @@ func (b *Bridge) Close() error {
 // do submits fn to the pump and blocks until it ran. It is the only way
 // application goroutines reach simulation state; fn must not block.
 func (b *Bridge) do(fn func()) error {
-	c := &call{fn: fn, done: make(chan struct{})}
+	c := &call{fn: fn, done: make(chan struct{}), submitted: time.Now()}
 	select {
 	case b.calls <- c:
 		<-c.done
@@ -130,6 +172,17 @@ func (b *Bridge) do(fn func()) error {
 	case <-b.done:
 		return ErrBridgeClosed
 	}
+}
+
+// runCall executes one submitted call on the pump, recording the wall
+// time the caller spent waiting for the pump to pick it up — the wake
+// latency an application goroutine pays per bridge operation.
+//
+//repolint:pump
+func (b *Bridge) runCall(c *call) {
+	b.hWake.Observe(time.Since(c.submitted).Nanoseconds())
+	c.fn()
+	close(c.done)
 }
 
 // pump is the bridge's engine-owning goroutine: it alternates between
@@ -154,8 +207,7 @@ func (b *Bridge) pump() {
 			// new call arrives: park.
 			select {
 			case c := <-b.calls:
-				c.fn()
-				close(c.done)
+				b.runCall(c)
 			case <-b.stop:
 				b.shutdown()
 				return
@@ -169,8 +221,7 @@ func (b *Bridge) drainCalls() {
 	for {
 		select {
 		case c := <-b.calls:
-			c.fn()
-			close(c.done)
+			b.runCall(c)
 		default:
 			return
 		}
@@ -208,7 +259,13 @@ func (b *Bridge) advance() bool {
 		slice = gap
 	}
 	b.wake = false
+	span := b.tr.Start("lease", "pump", 0)
 	_ = b.eng.RunUntil(slice, b.wakeCond)
+	b.tr.Finish(span)
+	if b.wake {
+		// A hook ended the lease early: a waiter's event landed mid-slice.
+		b.cLeaseCuts.Inc()
+	}
 	b.sweep()
 	return true
 }

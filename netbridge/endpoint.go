@@ -228,20 +228,21 @@ func (d *Dialer) DialContext(ctx context.Context, network, address string) (net.
 		return nil, d.opError("dial", addr, uint16(port), os.ErrDeadlineExceeded)
 	}
 	var (
-		tc *tcpsim.Conn
-		w  *waiter
+		tc   *tcpsim.Conn
+		w    *waiter
+		span int
 	)
-	if err := d.b.do(func() { tc, w = d.pumpConnect(addr, uint16(port), budget) }); err != nil {
+	if err := d.b.do(func() { tc, w, span = d.pumpConnect(addr, uint16(port), budget) }); err != nil {
 		return nil, err
 	}
 	if werr := d.b.waitOn(ctx, w); werr != nil {
 		// Timed out or cancelled: tear the half-open connection down.
-		_ = d.b.do(func() { d.pumpAbort(tc) })
+		_ = d.b.do(func() { d.pumpAbort(tc, span) })
 		return nil, d.opError("dial", addr, uint16(port), werr)
 	}
 	var c *Conn
 	var derr error
-	if err := d.b.do(func() { c, derr = d.pumpFinishDial(tc) }); err != nil {
+	if err := d.b.do(func() { c, derr = d.pumpFinishDial(tc, span) }); err != nil {
 		return nil, err
 	}
 	if derr != nil {
@@ -250,25 +251,32 @@ func (d *Dialer) DialContext(ctx context.Context, network, address string) (net.
 	return c, nil
 }
 
-// pumpConnect starts the handshake and parks a waiter on its outcome.
+// pumpConnect starts the handshake, opens a dial trace span (finished by
+// pumpFinishDial or pumpAbort), and parks a waiter on the outcome.
 //
 //repolint:pump
-func (d *Dialer) pumpConnect(addr netip.Addr, port uint16, budget time.Duration) (*tcpsim.Conn, *waiter) {
+func (d *Dialer) pumpConnect(addr netip.Addr, port uint16, budget time.Duration) (*tcpsim.Conn, *waiter, int) {
+	d.b.cDials.Inc()
+	span := d.b.tr.Start("dial "+d.ep.name, "bridge", 0)
 	tc := d.ep.stack.Connect(addr, port)
 	d.b.hookConn(tc)
 	w := d.b.addWaiter(func() bool { return tc.Established() || tc.Dead() },
 		budget, os.ErrDeadlineExceeded)
-	return tc, w
+	return tc, w, span
 }
 
 //repolint:pump
-func (d *Dialer) pumpAbort(tc *tcpsim.Conn) { tc.Abort() }
+func (d *Dialer) pumpAbort(tc *tcpsim.Conn, span int) {
+	tc.Abort()
+	d.b.tr.Finish(span)
+}
 
 // pumpFinishDial inspects the handshake outcome and wraps the live
 // connection.
 //
 //repolint:pump
-func (d *Dialer) pumpFinishDial(tc *tcpsim.Conn) (*Conn, error) {
+func (d *Dialer) pumpFinishDial(tc *tcpsim.Conn, span int) (*Conn, error) {
+	d.b.tr.Finish(span)
 	if _, reset := tc.WasReset(); reset {
 		return nil, syscall.ECONNREFUSED
 	}

@@ -101,6 +101,7 @@ func (l *Listener) pumpAccept() (*Conn, error) {
 	}
 	tc := l.backlog[0]
 	l.backlog = l.backlog[1:]
+	l.b.cAccepts.Inc()
 	return newConn(l.b, tc), nil
 }
 
