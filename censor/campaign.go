@@ -33,19 +33,102 @@ type Campaign struct {
 // Results() to completion, then check Err(). A consumer that stops
 // reading early must call Cancel (or cancel the campaign context) so the
 // workers behind the stream wind down.
+//
+// Internally the stream moves whole task batches, not individual
+// results: the merger emits each task's result slice with a single
+// channel send, and Drain hands the batch to sinks that implement
+// BatchSink in one call. Results(), Collect and Drain are alternative
+// single-consumer faces of the same batch channel — pick one per
+// stream.
 type Stream struct {
-	ch     chan Result
-	cancel context.CancelFunc
-	err    error // written by the merger before ch closes
+	batches chan []Result
+	free    chan []Result // recycled task slices; see takeSlice/release
+	ctx     context.Context
+	cancel  context.CancelFunc
+	// Consumer-side abandonment signals, distinct from the derived
+	// context: the merger cancels st.ctx during normal teardown, so the
+	// Results() forwarder cannot use it to tell "consumer walked away"
+	// from "campaign finished with batches still buffered". abort closes
+	// on Cancel(); parentDone is the caller's own context.
+	abort      chan struct{}
+	abortOnce  sync.Once
+	parentDone <-chan struct{}
+	// err is written by the merger before batches closes, or by the
+	// Results() forwarder (before resCh closes) when the consumer
+	// abandons results mid-flight; Err() reads it only after the channel
+	// it consumes has closed, which orders every access.
+	err error
+
+	resOnce sync.Once
+	resCh   chan Result
 }
 
-// Results is the stream's delivery channel; it closes when the campaign
-// completes or is cancelled.
-func (st *Stream) Results() <-chan Result { return st.ch }
+// Results is the stream's per-result delivery channel; it closes when
+// the campaign completes or is cancelled. It is a compatibility view
+// over the batch channel: a forwarder copies each batch out result by
+// result, so batch recycling never touches values a consumer holds.
+func (st *Stream) Results() <-chan Result {
+	st.resOnce.Do(func() {
+		st.resCh = make(chan Result, 64)
+		// abandon stops forwarding on consumer-side cancellation: results
+		// still in flight are dropped, the batch channel is drained until
+		// the merger closes it (that close orders the merger's st.err
+		// write), and the cancellation is recorded — the merger may have
+		// already emitted every batch and exited cleanly, so the forwarder
+		// is the only goroutine that knows delivery was cut short.
+		abandon := func(batch []Result) {
+			st.release(batch)
+			for b := range st.batches {
+				st.release(b)
+			}
+			if st.err == nil {
+				if err := st.ctx.Err(); err != nil {
+					st.err = err
+				} else {
+					// Parent done-channels close a beat before the
+					// cancellation propagates to derived contexts.
+					st.err = context.Canceled
+				}
+			}
+		}
+		go func() {
+			defer close(st.resCh)
+			for batch := range st.batches {
+				for i := range batch {
+					// Check abandonment first: a consumer that keeps
+					// draining after Cancel must still observe the cut.
+					select {
+					case <-st.abort:
+						abandon(batch)
+						return
+					case <-st.parentDone:
+						abandon(batch)
+						return
+					default:
+					}
+					select {
+					case st.resCh <- batch[i]:
+					case <-st.abort:
+						abandon(batch)
+						return
+					case <-st.parentDone:
+						abandon(batch)
+						return
+					}
+				}
+				st.release(batch)
+			}
+		}()
+	})
+	return st.resCh
+}
 
 // Cancel stops the campaign early. Results() still closes (drain it),
 // and Err() reports the cancellation. Safe to call multiple times.
-func (st *Stream) Cancel() { st.cancel() }
+func (st *Stream) Cancel() {
+	st.cancel()
+	st.abortOnce.Do(func() { close(st.abort) })
+}
 
 // Err reports why the stream ended early (context cancellation), or nil
 // after a complete run. Only valid once Results() is closed.
@@ -54,10 +137,40 @@ func (st *Stream) Err() error { return st.err }
 // Collect drains the stream into a slice.
 func (st *Stream) Collect() ([]Result, error) {
 	var out []Result
-	for r := range st.ch {
-		out = append(out, r)
+	for batch := range st.batches {
+		out = append(out, batch...)
+		st.release(batch)
 	}
 	return out, st.err
+}
+
+// takeSlice checks a recycled task slice out of the stream's free list,
+// or allocates one. The free list is per stream, so a drained campaign
+// pins no result memory beyond the stream's own lifetime.
+func (st *Stream) takeSlice(capHint int) []Result {
+	select {
+	case b := <-st.free:
+		if cap(b) >= capHint {
+			return b
+		}
+	default:
+	}
+	return make([]Result, 0, capHint)
+}
+
+// release clears a delivered batch (dropping the per-result pointers so
+// the GC can reclaim them) and parks the backing array for the next
+// task. Consumers own batch values only until their consuming loop
+// moves on — Drain documents the same contract for BatchSink.
+func (st *Stream) release(b []Result) {
+	if cap(b) == 0 {
+		return
+	}
+	clear(b)
+	select {
+	case st.free <- b[:0]:
+	default:
+	}
 }
 
 // Drain consumes the stream to completion, delivering every result to
@@ -68,19 +181,54 @@ func (st *Stream) Collect() ([]Result, error) {
 // every path — a sibling sink's buffered output is not lost to another
 // sink's failure — and the first error wins. Otherwise it returns the
 // stream's own Err.
+//
+// Delivery granularity: when every sink implements BatchSink, Drain
+// hands each task's results over as one WriteBatch call — the batch is
+// the atomic delivery unit, and a failing sink stops its siblings at
+// the batch boundary. If any sink only implements Sink, Drain falls
+// back to per-result Write fan-out for all of them, preserving the
+// original lockstep semantics (a result rejected by one sink is not
+// offered to the next). Output bytes are identical either way.
 func (st *Stream) Drain(sinks ...Sink) error {
+	batchers := make([]BatchSink, len(sinks))
+	allBatch := true
+	for i, s := range sinks {
+		b, ok := s.(BatchSink)
+		if !ok {
+			allBatch = false
+			break
+		}
+		batchers[i] = b
+	}
+
 	var firstErr error
-	for r := range st.ch {
-		for _, s := range sinks {
-			if err := s.Write(r); err != nil {
-				firstErr = err
-				st.Cancel()
-				for range st.ch {
+	for batch := range st.batches {
+		if allBatch {
+			for _, b := range batchers {
+				if err := b.WriteBatch(batch); err != nil {
+					firstErr = err
+					break
 				}
-				break
+			}
+		} else {
+			for i := range batch {
+				for _, s := range sinks {
+					if err := s.Write(batch[i]); err != nil {
+						firstErr = err
+						break
+					}
+				}
+				if firstErr != nil {
+					break
+				}
 			}
 		}
+		st.release(batch)
 		if firstErr != nil {
+			st.Cancel()
+			for b := range st.batches {
+				st.release(b)
+			}
 			break
 		}
 	}
@@ -191,7 +339,22 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 	hMergeWait := cfg.obs.Histogram("censor_merge_wait_ns")
 
 	ctx, cancel := context.WithCancel(parent)
-	st := &Stream{ch: make(chan Result, 64), cancel: cancel}
+	workers := cfg.workers
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
+	}
+	st := &Stream{
+		// A couple of task batches of lookahead: enough that the merger
+		// rarely blocks behind the consumer, small enough that a consumer
+		// abandoning mid-stream (TestDrainCancelledStream's shape) still
+		// forces the campaign through the cancellation path.
+		batches:    make(chan []Result, 2),
+		free:       make(chan []Result, workers+2),
+		ctx:        ctx,
+		cancel:     cancel,
+		abort:      make(chan struct{}),
+		parentDone: parent.Done(),
+	}
 	results := make([][]Result, len(tasks))
 	done := make([]chan struct{}, len(tasks))
 	for i := range done {
@@ -210,10 +373,6 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 			}
 		}
 	}()
-	workers := cfg.workers
-	if workers > len(tasks) && len(tasks) > 0 {
-		workers = len(tasks)
-	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -246,7 +405,7 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 				}
 				span := cfg.trace.Start(tasks[i].vantage+"/"+tasks[i].m.Kind(), "task", wid)
 				start := obs.WallClock()
-				results[i] = runTask(ctx, world, cfg, tasks[i], domains)
+				results[i] = runTask(ctx, world, cfg, tasks[i], domains, st)
 				hTask.Observe(obs.WallClock() - start)
 				cfg.trace.Finish(span)
 				cTasks.Inc()
@@ -271,9 +430,12 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 		}(w)
 	}
 
-	// Merger: emit task outputs in task order as they complete.
+	// Merger: emit task outputs in task order as they complete — one
+	// channel send per task, not per result, and each emitted slot is
+	// released immediately so a long campaign never pins every result
+	// until the drain finishes.
 	go func() {
-		defer close(st.ch)
+		defer close(st.batches)
 		defer cancel() // release the derived context once fully drained
 		defer wg.Wait()
 		for i := range tasks {
@@ -292,13 +454,17 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 			}
 			hMergeWait.Observe(obs.WallClock() - start)
 			cfg.trace.Finish(span)
-			for _, r := range results[i] {
-				select {
-				case st.ch <- r:
-				case <-ctx.Done():
-					st.err = ctx.Err()
-					return
-				}
+			batch := results[i]
+			results[i] = nil // the consumer owns the batch now
+			if len(batch) == 0 {
+				st.release(batch)
+				continue
+			}
+			select {
+			case st.batches <- batch:
+			case <-ctx.Done():
+				st.err = ctx.Err()
+				return
 			}
 		}
 		// Every result was delivered: the campaign completed, even if a
@@ -316,7 +482,7 @@ func (s *Session) Run(parent context.Context, c Campaign, opts ...Option) (*Stre
 // exactly that property — Reset rewinds the replica to its just-built
 // state between tasks — while paying the build cost once per worker
 // instead of once per task.
-func runTask(ctx context.Context, world *ispnet.World, cfg config, t task, domains []string) []Result {
+func runTask(ctx context.Context, world *ispnet.World, cfg config, t task, domains []string, st *Stream) []Result {
 	if ctx.Err() != nil {
 		return nil
 	}
@@ -327,7 +493,10 @@ func runTask(ctx context.Context, world *ispnet.World, cfg config, t task, domai
 		return []Result{{Vantage: t.vantage, Measurement: t.m.Kind(), Error: err.Error()}}
 	}
 	finishPcap := startTaskPcap(world, cfg, t)
-	out := make([]Result, 0, len(domains))
+	// The task slice comes from the stream's free list: once the consumer
+	// is done with an emitted batch it is cleared and reused, so a
+	// campaign's steady-state result storage is O(workers), not O(tasks).
+	out := st.takeSlice(len(domains) + 1)
 	for _, d := range domains {
 		if ctx.Err() != nil {
 			break

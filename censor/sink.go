@@ -29,6 +29,26 @@ type Sink interface {
 	Flush() error
 }
 
+// BatchSink is the optional batch face of a Sink. Campaign streams move
+// whole task batches internally; when every sink handed to Stream.Drain
+// implements BatchSink, each batch is delivered with a single WriteBatch
+// call instead of one Write per result — one lock round-trip, one
+// dispatch, per task.
+//
+// Contract: WriteBatch must consume the batch equivalently to calling
+// Write on each element in order (output bytes are asserted identical by
+// the byte-identity tests), and it must NOT retain the slice — the
+// stream clears and reuses the backing array as soon as WriteBatch
+// returns. Copy the Result values out (they are plain values; copying
+// one is safe) if the sink keeps them, as monitor.Store does. The
+// serialization contract is unchanged: Drain calls WriteBatch from a
+// single goroutine, one batch at a time.
+type BatchSink interface {
+	Sink
+	// WriteBatch consumes one task's results, in order.
+	WriteBatch([]Result) error
+}
+
 // ------------------------------------------------------------------ JSONL
 
 // JSONLSink writes one JSON object per result line — the raw-data shape
@@ -46,6 +66,16 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 func (s *JSONLSink) Write(r Result) error {
 	if err := s.enc.Encode(&r); err != nil {
 		return fmt.Errorf("censor: jsonl: %w", err)
+	}
+	return nil
+}
+
+// WriteBatch encodes one task's results, one JSON line each.
+func (s *JSONLSink) WriteBatch(rs []Result) error {
+	for i := range rs {
+		if err := s.enc.Encode(&rs[i]); err != nil {
+			return fmt.Errorf("censor: jsonl: %w", err)
+		}
 	}
 	return nil
 }
@@ -97,6 +127,16 @@ func (s *CSVSink) Write(r Result) error {
 	}
 	if err := s.w.Write(rec); err != nil {
 		return fmt.Errorf("censor: csv: %w", err)
+	}
+	return nil
+}
+
+// WriteBatch appends one task's results as CSV records.
+func (s *CSVSink) WriteBatch(rs []Result) error {
+	for i := range rs {
+		if err := s.Write(rs[i]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -260,6 +300,21 @@ func NewAggregateSink() *AggregateSink {
 func (s *AggregateSink) Write(r Result) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.writeLocked(r)
+	return nil
+}
+
+// WriteBatch folds one task's results under a single lock round-trip.
+func (s *AggregateSink) WriteBatch(rs []Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range rs {
+		s.writeLocked(rs[i])
+	}
+	return nil
+}
+
+func (s *AggregateSink) writeLocked(r Result) {
 	t, ok := s.tallies[r.Vantage]
 	if !ok {
 		t = newTally()
@@ -267,7 +322,6 @@ func (s *AggregateSink) Write(r Result) error {
 		s.vantages = append(s.vantages, r.Vantage)
 	}
 	t.Add(r)
-	return nil
 }
 
 // Flush is a no-op; the aggregate lives in memory until read.

@@ -24,7 +24,13 @@
 // task-picking worker, engine-level reset between tasks, reset replicas
 // parked on the session across campaigns — so parallel campaigns stay
 // byte-identical to sequential ones while building at most min(workers,
-// tasks) worlds, and usually none after the first run.
+// tasks) worlds, and usually none after the first run. The stable-order
+// merger moves whole task batches, not results: one channel send per
+// task, emitted slots nilled and recycled through a per-stream free
+// list, and Stream.Drain delivering each batch to sinks that implement
+// the optional BatchSink interface in a single WriteBatch call — so
+// result storage stays O(workers) and allocations stay flat as workers
+// grow, without loosening the byte-identity contract.
 //
 // Scenarios can seat synthetic user populations (internal/trafficgen):
 // per-ISP PopulationSpecs — user counts, DNS/HTTP/HTTPS request mix,
@@ -77,9 +83,9 @@
 //     make([]byte), and no fmt or string concatenation (hotpathalloc).
 //   - Value-only timers: *sim.Timer never appears; the generation-counted
 //     handle is copied, and Stop on a stale copy is safe (timerbyvalue).
-//   - Serialized sinks: censor.Sink.Write implementations spawn no
-//     goroutines and mutate no package-level state — Stream.Drain is the
-//     serialization point (sinkcontract).
+//   - Serialized sinks: censor.Sink.Write and censor.BatchSink.WriteBatch
+//     implementations spawn no goroutines and mutate no package-level
+//     state — Stream.Drain is the serialization point (sinkcontract).
 //   - Clean surface: no repro/internal type appears in the exported API
 //     of censor, monitor or netbridge, except the waived oracle and
 //     bridge hatches (apisurface).
@@ -108,9 +114,12 @@
 //
 // The monitor package is the service layer over all of that: a
 // Scheduler for recurring campaigns, a bounded concurrency-safe result
-// Store (ring buffers plus write-time per-run tallies, monotonic run
-// epochs, blocklist-churn deltas between runs), and the HTTP handler
-// the cmd/censord daemon serves — healthz plus versioned /v1 endpoints
-// for scenarios, runs, campaign triggers, filtered JSONL results and
-// aggregate summaries. See README.md for a quickstart.
+// Store (per-key ring buffers spread over 64 hashed shards, write-time
+// per-run tallies behind per-run locks, monotonic run epochs,
+// blocklist-churn deltas between runs — so concurrent campaigns
+// batch-ingest without serializing on one mutex, while the single-writer
+// path stays zero-alloc), and the HTTP handler the cmd/censord daemon
+// serves — healthz plus versioned /v1 endpoints for scenarios, runs,
+// campaign triggers, filtered JSONL results and aggregate summaries.
+// See README.md for a quickstart.
 package repro

@@ -5,6 +5,11 @@
 // the concurrency Drain exists to remove (and races the Flush that
 // follows the last Write); a Write that mutates package-level state
 // shares it with every other sink instance and campaign in the process.
+//
+// The same contract covers the batch path: censor.BatchSink's
+// WriteBatch is called from the same single Drain goroutine, one task
+// batch at a time, so WriteBatch implementations are held to the same
+// no-goroutine / no-package-level-mutation rules as Write.
 package sinkcontract
 
 import (
@@ -19,21 +24,38 @@ var Analyzer = &analysis.Analyzer{
 	Name: "sinkcontract",
 	Key:  "sink",
 	Doc: "forbid goroutine spawns and package-level mutation inside " +
-		"censor.Sink Write implementations (Stream.Drain serializes writes)",
+		"censor.Sink Write and censor.BatchSink WriteBatch implementations " +
+		"(Stream.Drain serializes both)",
 	Run: run,
 }
 
 const censorPkgPath = "repro/censor"
 
 func run(pass *analysis.Pass) error {
-	sink := sinkInterface(pass.Pkg)
+	sink := sinkInterface(pass.Pkg, "Sink")
 	if sink == nil {
 		return nil
 	}
+	// BatchSink postdates Sink; resolve it independently so the analyzer
+	// degrades to Write-only checking against an older censor package.
+	batch := sinkInterface(pass.Pkg, "BatchSink")
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || fd.Recv == nil || fd.Name.Name != "Write" {
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			var iface *types.Interface
+			var label string
+			switch fd.Name.Name {
+			case "Write":
+				iface, label = sink, "Sink.Write"
+			case "WriteBatch":
+				iface, label = batch, "BatchSink.WriteBatch"
+			default:
+				continue
+			}
+			if iface == nil {
 				continue
 			}
 			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
@@ -41,18 +63,19 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			recv := obj.Type().(*types.Signature).Recv()
-			if recv == nil || !implementsSink(recv.Type(), sink) {
+			if recv == nil || !implementsSink(recv.Type(), iface) {
 				continue
 			}
-			checkWrite(pass, fd)
+			checkWrite(pass, fd, label)
 		}
 	}
 	return nil
 }
 
-// sinkInterface resolves censor.Sink from the package under analysis or
-// its direct imports; nil when the package cannot implement it.
-func sinkInterface(pkg *types.Package) *types.Interface {
+// sinkInterface resolves the named censor interface (Sink, BatchSink)
+// from the package under analysis or its direct imports; nil when the
+// package cannot implement it.
+func sinkInterface(pkg *types.Package, name string) *types.Interface {
 	src := pkg
 	if pkg.Path() != censorPkgPath {
 		src = nil
@@ -66,7 +89,7 @@ func sinkInterface(pkg *types.Package) *types.Interface {
 	if src == nil {
 		return nil
 	}
-	tn, ok := src.Scope().Lookup("Sink").(*types.TypeName)
+	tn, ok := src.Scope().Lookup(name).(*types.TypeName)
 	if !ok {
 		return nil
 	}
@@ -86,30 +109,31 @@ func implementsSink(recv types.Type, sink *types.Interface) bool {
 	return false
 }
 
-// checkWrite walks one Write implementation, including nested func
-// literals, for contract violations.
-func checkWrite(pass *analysis.Pass, fd *ast.FuncDecl) {
+// checkWrite walks one Write or WriteBatch implementation, including
+// nested func literals, for contract violations. label names the
+// interface method in diagnostics ("Sink.Write", "BatchSink.WriteBatch").
+func checkWrite(pass *analysis.Pass, fd *ast.FuncDecl, label string) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "Sink.Write spawns a goroutine; Drain serializes writes and Flush follows the last Write — finish the work inline")
+			pass.Reportf(n.Pos(), "%s spawns a goroutine; Drain serializes writes and Flush follows the last Write — finish the work inline", label)
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "AfterFunc" {
 				if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil {
 					if p := obj.Pkg().Path(); p == "time" || p == "context" {
-						pass.Reportf(n.Pos(), "%s.AfterFunc inside Sink.Write runs its callback on a new goroutine after Drain has moved on", obj.Pkg().Name())
+						pass.Reportf(n.Pos(), "%s.AfterFunc inside %s runs its callback on a new goroutine after Drain has moved on", obj.Pkg().Name(), label)
 					}
 				}
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
 				if v := packageLevelTarget(pass, lhs); v != nil {
-					pass.Reportf(lhs.Pos(), "Sink.Write mutates package-level %s; sink state must live on the sink instance", v.Name())
+					pass.Reportf(lhs.Pos(), "%s mutates package-level %s; sink state must live on the sink instance", label, v.Name())
 				}
 			}
 		case *ast.IncDecStmt:
 			if v := packageLevelTarget(pass, n.X); v != nil {
-				pass.Reportf(n.X.Pos(), "Sink.Write mutates package-level %s; sink state must live on the sink instance", v.Name())
+				pass.Reportf(n.X.Pos(), "%s mutates package-level %s; sink state must live on the sink instance", label, v.Name())
 			}
 		}
 		return true

@@ -67,3 +67,49 @@ func (waivedSink) Write(r censor.Result) error {
 }
 
 func (waivedSink) Flush() error { return nil }
+
+// asyncBatchSink implements censor.BatchSink; its WriteBatch breaks the
+// same contract Write is held to.
+type asyncBatchSink struct {
+	n int
+}
+
+func (s *asyncBatchSink) Write(r censor.Result) error { return nil }
+
+func (s *asyncBatchSink) WriteBatch(rs []censor.Result) error {
+	go func() { // want `BatchSink.WriteBatch spawns a goroutine`
+		s.n += len(rs)
+	}()
+	time.AfterFunc(time.Millisecond, s.flush) // want `time.AfterFunc inside BatchSink.WriteBatch`
+	total += len(rs)                          // want `BatchSink.WriteBatch mutates package-level total`
+	return nil
+}
+
+func (s *asyncBatchSink) Flush() error { return nil }
+
+func (s *asyncBatchSink) flush() {}
+
+// batchCountSink keeps all state on the instance: allowed on both faces.
+type batchCountSink struct {
+	n, batches int
+}
+
+func (s *batchCountSink) Write(r censor.Result) error { s.n++; return nil }
+
+func (s *batchCountSink) WriteBatch(rs []censor.Result) error {
+	s.batches++
+	s.n += len(rs)
+	return nil
+}
+
+func (s *batchCountSink) Flush() error { return nil }
+
+// notABatchSink has a WriteBatch method but no Write/Flush, so it does
+// not implement censor.BatchSink and the contract does not apply.
+type notABatchSink struct{}
+
+func (notABatchSink) WriteBatch(rs []censor.Result) error {
+	go func() {}()
+	total++
+	return nil
+}

@@ -182,28 +182,52 @@ func NewHandler(store *Store, sched *Scheduler, opts ...HandlerOption) http.Hand
 		if source == "" {
 			source = "push"
 		}
-		// Stream-decode straight into the sink: the body is never
-		// materialized, so a push cannot grow the daemon beyond the
-		// store's own bounds (plus this defensive per-request cap).
+		// Stream-decode into bounded chunks and batch-ingest each: the
+		// body is never materialized, so a push cannot grow the daemon
+		// beyond the store's own bounds (plus this defensive per-request
+		// cap), while each WriteBatch pays the run lock once per chunk
+		// instead of once per result on the sharded store.
 		body := http.MaxBytesReader(w, r.Body, maxPushBytes)
 		sink := store.Begin(scenario, source)
 		dec := json.NewDecoder(body)
+		const pushChunk = 256
+		chunk := make([]censor.Result, 0, pushChunk)
+		ingest := func() error {
+			if len(chunk) == 0 {
+				return nil
+			}
+			err := sink.WriteBatch(chunk)
+			chunk = chunk[:0]
+			return err
+		}
 		for {
 			var res censor.Result
 			if err := dec.Decode(&res); err == io.EOF {
 				break
 			} else if err != nil {
-				// Finalize the partial run — its Err makes the truncated
-				// ingest observable instead of leaving a phantom open run.
+				// Ingest what decoded cleanly, then finalize the partial
+				// run — its Err makes the truncated ingest observable
+				// instead of leaving a phantom open run.
+				if ierr := ingest(); ierr != nil {
+					err = ierr
+				}
 				sink.FinishErr(fmt.Errorf("jsonl body: %v", err))
 				httpError(w, http.StatusBadRequest, "jsonl body: %v", err)
 				return
 			}
-			if err := sink.Write(res); err != nil {
-				sink.FinishErr(err)
-				httpError(w, http.StatusInternalServerError, "%v", err)
-				return
+			chunk = append(chunk, res)
+			if len(chunk) == pushChunk {
+				if err := ingest(); err != nil {
+					sink.FinishErr(err)
+					httpError(w, http.StatusInternalServerError, "%v", err)
+					return
+				}
 			}
+		}
+		if err := ingest(); err != nil {
+			sink.FinishErr(err)
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
 		}
 		if err := sink.Flush(); err != nil {
 			httpError(w, http.StatusInternalServerError, "%v", err)

@@ -9,20 +9,26 @@
 // service in three pieces:
 //
 //   - [Store], a concurrency-safe in-memory result store implementing
-//     [censor.Sink]. Raw results live in bounded per-(scenario, vantage,
-//     measurement) ring buffers; every ingested result is also folded
-//     into per-run [censor.Tally] roll-ups at write time, so summary
-//     queries never scan raw results. Runs carry monotonic epochs.
+//     [censor.Sink] and [censor.BatchSink]. Raw results live in bounded
+//     per-(scenario, vantage, measurement) ring buffers; every ingested
+//     result is also folded into per-run [censor.Tally] roll-ups at
+//     write time, so summary queries never scan raw results. Runs carry
+//     monotonic epochs.
 //   - [Scheduler], which executes recurring campaigns (per-job cadence
 //     and jitter, context-aware shutdown) against pooled sessions and
 //     ingests each run into the store.
 //   - [NewHandler], the HTTP face: /healthz plus the versioned /v1/*
 //     query and trigger endpoints cmd/censord serves.
 //
-// Store queries run concurrently with ingestion: Write takes the write
-// lock per result, queries take read locks, and every query returns
-// copies — a deliberate contrast with JSONLSink/CSVSink, which are only
-// safe single-writer through Stream.Drain.
+// Store queries run concurrently with ingestion, and ingestion scales
+// past one writer: instead of a store-wide mutex, raw-result rings are
+// spread over a fixed array of key shards (hashed by scenario, vantage
+// and measurement), per-run roll-ups take a per-run lock, and the
+// lifetime counters are atomics. Two campaigns ingesting different
+// vantages never contend; a batched drain locks its single shard once
+// per task. Every query returns copies — a deliberate contrast with
+// JSONLSink/CSVSink, which are only safe single-writer through
+// Stream.Drain.
 package monitor
 
 import (
@@ -30,6 +36,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/censor"
@@ -41,6 +48,41 @@ import (
 // another's history.
 type key struct {
 	Scenario, Vantage, Measurement string
+}
+
+// storeShards is the fixed shard count for the raw-result rings. A
+// power of two so shardFor reduces with a mask; 64 comfortably exceeds
+// any plausible writer parallelism while costing ~4KB of empty store.
+const storeShards = 64
+
+// shardFor hashes a ring key onto its shard: FNV-1a over the three
+// strings with a separator byte between them, masked to the shard
+// count. Zero-alloc — the ingest hot path runs through here.
+func shardFor(k key) uint32 {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(k.Scenario); i++ {
+		h = (h ^ uint32(k.Scenario[i])) * prime32
+	}
+	h = (h ^ 0xff) * prime32
+	for i := 0; i < len(k.Vantage); i++ {
+		h = (h ^ uint32(k.Vantage[i])) * prime32
+	}
+	h = (h ^ 0xff) * prime32
+	for i := 0; i < len(k.Measurement); i++ {
+		h = (h ^ uint32(k.Measurement[i])) * prime32
+	}
+	return h & (storeShards - 1)
+}
+
+// storeShard is one slice of the raw-result rings: its own lock, its
+// own key set (first-seen order within the shard). Padded so adjacent
+// shard locks do not share a cache line under write contention.
+type storeShard struct {
+	mu    sync.RWMutex
+	rings map[key]*ring
+	keys  []key
+	_     [64]byte
 }
 
 // StoredResult is one retained measurement record: the uniform
@@ -84,11 +126,20 @@ type RunInfo struct {
 // runState is one run's retained roll-up: its info row, the aggregate
 // (fed the same fold as a drained AggregateSink, so summaries match
 // byte-for-byte), and the per-vantage blocked-domain sets behind
-// DeltaSince.
+// DeltaSince. Each run carries its own lock, so concurrent runs roll up
+// without contending; the aggregate locks itself.
 type runState struct {
+	mu      sync.Mutex // guards info and blocked
 	info    RunInfo
 	agg     *censor.AggregateSink
 	blocked map[string]map[string]bool // vantage -> blocked domains
+}
+
+// infoCopy snapshots the run's info row under its lock.
+func (st *runState) infoCopy() RunInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.info
 }
 
 // ring is a fixed-capacity result buffer: append overwrites the oldest
@@ -117,41 +168,44 @@ func (rg *ring) each(fn func(StoredResult)) {
 }
 
 // Store is the observatory's in-memory result store. It implements
-// censor.Sink (writes land in an implicit "direct" run) and hands out
-// per-run sinks via Begin for callers that manage run boundaries — the
-// Scheduler, the campaign-trigger endpoint, and the batch-push endpoint.
+// censor.Sink and censor.BatchSink (writes land in an implicit "direct"
+// run) and hands out per-run sinks via Begin for callers that manage
+// run boundaries — the Scheduler, the campaign-trigger endpoint, and
+// the batch-push endpoint.
 //
 // Unlike the stream sinks, Store is explicitly safe for concurrent use:
-// any number of goroutines may Write (each write locks per result) while
-// any number query — Results, Summary, Runs, DeltaSince all take read
-// locks and return copies. Memory is bounded on both axes: raw results
-// by per-key ring buffers (WithRingSize), roll-ups by run retention
-// (WithRunRetention).
+// any number of goroutines may Write while any number query — Results,
+// Summary, Runs, DeltaSince all return copies. Locking is sharded so
+// writers scale with cores instead of serializing on one mutex: each
+// write takes its run's lock for the roll-ups and its key shard's lock
+// for the ring append; writers to different runs and different
+// (scenario, vantage, measurement) keys proceed in parallel. Memory is
+// bounded on both axes: raw results by per-key ring buffers
+// (WithRingSize), roll-ups by run retention (WithRunRetention).
 type Store struct {
-	mu       sync.RWMutex
 	ringSize int
 	runCap   int
 	clock    func() time.Time
 
-	rings map[key]*ring
-	keys  []key // first-seen order, for deterministic iteration
+	shards [storeShards]storeShard
 
-	runs    []*runState // retained runs, ascending epoch
+	runsMu  sync.RWMutex // guards the runs slice and nextRun
+	runs    []*runState  // retained runs, ascending epoch
 	nextRun int
-	nextSeq uint64
 
-	ingested uint64 // results ever written
-	evicted  uint64 // results displaced from rings
+	nextSeq  atomic.Uint64 // global ingestion order
+	ingested atomic.Uint64 // results ever written
+	evicted  atomic.Uint64 // results displaced from rings
 
 	// obs mirrors of the counters above, plus run opens; nil (no-op)
-	// instruments unless WithTelemetry was given. The atomic Inc calls
-	// ride inside the store lock, so ingest stays one lock round-trip.
+	// instruments unless WithTelemetry was given.
 	reg       *obs.Registry
 	cRuns     *obs.Counter
 	cIngested *obs.Counter
 	cEvicted  *obs.Counter
 
-	direct *RunSink // implicit run behind the Sink interface
+	directMu sync.Mutex
+	direct   *RunSink // implicit run behind the Sink interface
 }
 
 // StoreOption configures a Store.
@@ -196,11 +250,13 @@ func NewStore(opts ...StoreOption) *Store {
 		ringSize: 512,
 		runCap:   64,
 		clock:    time.Now,
-		rings:    map[key]*ring{},
 		nextRun:  1,
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	for i := range s.shards {
+		s.shards[i].rings = map[key]*ring{}
 	}
 	s.cRuns = s.reg.Counter("monitor_runs_total")
 	s.cIngested = s.reg.Counter("monitor_results_ingested_total")
@@ -209,24 +265,23 @@ func NewStore(opts ...StoreOption) *Store {
 }
 
 // RunSink ingests one run's results into the store. It implements
-// censor.Sink: hand it to Stream.Drain, or Write from application code —
-// writes are individually locked, so concurrent writers are safe (their
+// censor.Sink and censor.BatchSink: hand it to Stream.Drain (which
+// delivers whole task batches — one run-lock and usually one shard-lock
+// round-trip per task), or Write from application code — writes are
+// individually locked, so concurrent writers are safe (their
 // interleaving decides sequence numbers). Flush finalizes the run;
 // writes after Flush fail.
 type RunSink struct {
 	s   *Store
+	st  *runState
 	run int
 }
 
 // Begin opens a new run under the given scenario name and returns its
 // sink. Epochs are monotonic across all scenarios and sources.
 func (s *Store) Begin(scenario, source string) *RunSink {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.beginLocked(scenario, source)
-}
-
-func (s *Store) beginLocked(scenario, source string) *RunSink {
+	s.runsMu.Lock()
+	defer s.runsMu.Unlock()
 	st := &runState{
 		info: RunInfo{
 			Run:      s.nextRun,
@@ -245,13 +300,13 @@ func (s *Store) beginLocked(scenario, source string) *RunSink {
 		// dropped — its sink would start failing mid-campaign — so the
 		// cap can be transiently exceeded while many runs ingest at once.
 		for i, old := range s.runs {
-			if old.info.Done {
+			if old.infoCopy().Done {
 				s.runs = append(s.runs[:i], s.runs[i+1:]...)
 				break
 			}
 		}
 	}
-	return &RunSink{s: s, run: st.info.Run}
+	return &RunSink{s: s, st: st, run: st.info.Run}
 }
 
 // Run returns the sink's run epoch.
@@ -259,55 +314,55 @@ func (rs *RunSink) Run() int { return rs.run }
 
 // Write ingests one result into the sink's run.
 func (rs *RunSink) Write(r censor.Result) error {
-	rs.s.mu.Lock()
-	defer rs.s.mu.Unlock()
-	return rs.s.writeLocked(rs.run, r)
+	st := rs.st
+	st.mu.Lock()
+	if st.info.Done {
+		st.mu.Unlock()
+		return fmt.Errorf("monitor: run %d already finished", rs.run)
+	}
+	rollupLocked(st, &r)
+	st.mu.Unlock()
+	st.agg.Write(r) // same fold as a drained AggregateSink
+	rs.s.appendRaw(st.info.Scenario, rs.run, r)
+	return nil
 }
 
-// Flush finalizes the run: stamps Finished, marks it Done.
-func (rs *RunSink) Flush() error {
-	rs.s.mu.Lock()
-	defer rs.s.mu.Unlock()
-	st := rs.s.runLocked(rs.run)
-	if st == nil {
-		return fmt.Errorf("monitor: run %d evicted before flush", rs.run)
+// WriteBatch ingests one task's results: the run roll-ups fold under a
+// single run-lock round-trip, the aggregate under one of its own, and
+// the ring appends group consecutive same-key results so a campaign
+// task (one vantage, one measurement) costs one shard lock, not one
+// per result.
+func (rs *RunSink) WriteBatch(batch []censor.Result) error {
+	if len(batch) == 0 {
+		return nil
 	}
-	if !st.info.Done {
-		st.info.Done = true
-		st.info.Finished = rs.s.clock()
+	st := rs.st
+	st.mu.Lock()
+	if st.info.Done {
+		st.mu.Unlock()
+		return fmt.Errorf("monitor: run %d already finished", rs.run)
+	}
+	for i := range batch {
+		rollupLocked(st, &batch[i])
+	}
+	st.mu.Unlock()
+	st.agg.WriteBatch(batch)
+	for start := 0; start < len(batch); {
+		end := start + 1
+		for end < len(batch) &&
+			batch[end].Vantage == batch[start].Vantage &&
+			batch[end].Measurement == batch[start].Measurement {
+			end++
+		}
+		rs.s.appendRawGroup(st.info.Scenario, rs.run, batch[start:end])
+		start = end
 	}
 	return nil
 }
 
-// FinishErr records a campaign error on the run (the stream ended early)
-// and finalizes it. Use after Stream.Drain returns non-nil; Drain has
-// already flushed the sink by then, so this only annotates the run.
-func (rs *RunSink) FinishErr(err error) {
-	rs.s.mu.Lock()
-	defer rs.s.mu.Unlock()
-	st := rs.s.runLocked(rs.run)
-	if st == nil {
-		return
-	}
-	if err != nil {
-		st.info.Err = err.Error()
-	}
-	if !st.info.Done {
-		st.info.Done = true
-		st.info.Finished = rs.s.clock()
-	}
-}
-
-func (s *Store) writeLocked(run int, r censor.Result) error {
-	st := s.runLocked(run)
-	if st == nil {
-		return fmt.Errorf("monitor: run %d not open", run)
-	}
-	if st.info.Done {
-		return fmt.Errorf("monitor: run %d already finished", run)
-	}
-
-	// Roll-ups first: counts survive ring eviction.
+// rollupLocked folds one result into the run's write-time roll-ups.
+// Caller holds st.mu.
+func rollupLocked(st *runState, r *censor.Result) {
 	st.info.Results++
 	if r.Blocked {
 		st.info.Blocked++
@@ -321,34 +376,98 @@ func (s *Store) writeLocked(run int, r censor.Result) error {
 	if r.Error != "" {
 		st.info.Errors++
 	}
-	st.agg.Write(r) // same fold as a drained AggregateSink
+}
 
-	k := key{Scenario: st.info.Scenario, Vantage: r.Vantage, Measurement: r.Measurement}
-	rg, ok := s.rings[k]
+// appendRaw lands one result in its key's ring.
+func (s *Store) appendRaw(scenario string, run int, r censor.Result) {
+	k := key{Scenario: scenario, Vantage: r.Vantage, Measurement: r.Measurement}
+	sh := &s.shards[shardFor(k)]
+	sh.mu.Lock()
+	evicted := s.ringAppendLocked(sh, k, run, r)
+	sh.mu.Unlock()
+	if evicted {
+		s.countAppend(1, 1)
+	} else {
+		s.countAppend(1, 0)
+	}
+}
+
+// appendRawGroup lands a same-key group of results under one shard
+// lock.
+func (s *Store) appendRawGroup(scenario string, run int, rs []censor.Result) {
+	k := key{Scenario: scenario, Vantage: rs[0].Vantage, Measurement: rs[0].Measurement}
+	sh := &s.shards[shardFor(k)]
+	evicted := 0
+	sh.mu.Lock()
+	for i := range rs {
+		if s.ringAppendLocked(sh, k, run, rs[i]) {
+			evicted++
+		}
+	}
+	sh.mu.Unlock()
+	s.countAppend(len(rs), evicted)
+}
+
+// ringAppendLocked appends one result to its ring (creating it on first
+// use), stamping the global sequence number and ingestion time. Caller
+// holds the shard lock.
+func (s *Store) ringAppendLocked(sh *storeShard, k key, run int, r censor.Result) (evicted bool) {
+	rg, ok := sh.rings[k]
 	if !ok {
 		rg = &ring{buf: make([]StoredResult, s.ringSize)}
-		s.rings[k] = rg
-		s.keys = append(s.keys, k)
+		sh.rings[k] = rg
+		sh.keys = append(sh.keys, k)
 	}
-	s.nextSeq++
-	s.ingested++
-	s.cIngested.Inc()
-	if rg.append(StoredResult{
+	return rg.append(StoredResult{
 		Result:   r,
 		Run:      run,
-		Scenario: st.info.Scenario,
-		Seq:      s.nextSeq,
+		Scenario: k.Scenario,
+		Seq:      s.nextSeq.Add(1),
 		Time:     s.clock(),
-	}) {
-		s.evicted++
-		s.cEvicted.Inc()
+	})
+}
+
+// countAppend advances the lifetime counters after ring appends.
+func (s *Store) countAppend(n, evicted int) {
+	s.ingested.Add(uint64(n))
+	s.cIngested.Add(uint64(n))
+	if evicted > 0 {
+		s.evicted.Add(uint64(evicted))
+		s.cEvicted.Add(uint64(evicted))
+	}
+}
+
+// Flush finalizes the run: stamps Finished, marks it Done.
+func (rs *RunSink) Flush() error {
+	rs.st.mu.Lock()
+	defer rs.st.mu.Unlock()
+	if !rs.st.info.Done {
+		rs.st.info.Done = true
+		rs.st.info.Finished = rs.s.clock()
 	}
 	return nil
 }
 
-func (s *Store) runLocked(run int) *runState {
-	// Retained runs are few (runCap) and ascending; scan from the tail,
-	// where the open runs live.
+// FinishErr records a campaign error on the run (the stream ended early)
+// and finalizes it. Use after Stream.Drain returns non-nil; Drain has
+// already flushed the sink by then, so this only annotates the run.
+func (rs *RunSink) FinishErr(err error) {
+	rs.st.mu.Lock()
+	defer rs.st.mu.Unlock()
+	if err != nil {
+		rs.st.info.Err = err.Error()
+	}
+	if !rs.st.info.Done {
+		rs.st.info.Done = true
+		rs.st.info.Finished = rs.s.clock()
+	}
+}
+
+// findRun resolves a retained run by epoch. Retained runs are few
+// (runCap) and ascending; scan from the tail, where the open runs live.
+func (s *Store) findRun(run int) *runState {
+	s.runsMu.RLock()
+	defer s.runsMu.RUnlock()
 	for i := len(s.runs) - 1; i >= 0; i-- {
 		if s.runs[i].info.Run == run {
 			return s.runs[i]
@@ -363,28 +482,35 @@ func (s *Store) runLocked(run int) *runState {
 // implicit run (scenario "", source "direct") opened on first write.
 // Callers that know their run boundaries should prefer Begin.
 func (s *Store) Write(r censor.Result) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	return s.directSink().Write(r)
+}
+
+// WriteBatch implements censor.BatchSink on the store itself, batching
+// into the same implicit run as Write.
+func (s *Store) WriteBatch(rs []censor.Result) error {
+	return s.directSink().WriteBatch(rs)
+}
+
+func (s *Store) directSink() *RunSink {
+	s.directMu.Lock()
+	defer s.directMu.Unlock()
 	if s.direct == nil {
-		s.direct = s.beginLocked("", "direct")
+		s.direct = s.Begin("", "direct")
 	}
-	return s.writeLocked(s.direct.run, r)
+	return s.direct
 }
 
 // Flush finalizes the implicit run opened by Write; the next Write opens
 // a fresh one.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.direct == nil {
+	s.directMu.Lock()
+	rs := s.direct
+	s.direct = nil
+	s.directMu.Unlock()
+	if rs == nil {
 		return nil
 	}
-	if st := s.runLocked(s.direct.run); st != nil && !st.info.Done {
-		st.info.Done = true
-		st.info.Finished = s.clock()
-	}
-	s.direct = nil
-	return nil
+	return rs.Flush()
 }
 
 // --------------------------------------------------------------- queries
@@ -403,38 +529,46 @@ type Stats struct {
 
 // Stats reports the store's counters.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{Ingested: s.ingested, Evicted: s.evicted}
-	for _, rg := range s.rings {
-		st.Results += rg.n
+	st := Stats{Ingested: s.ingested.Load(), Evicted: s.evicted.Load()}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, rg := range sh.rings {
+			st.Results += rg.n
+		}
+		sh.mu.RUnlock()
 	}
-	st.Runs = len(s.runs)
-	for _, r := range s.runs {
-		if !r.info.Done {
+	for _, run := range s.runSnapshot() {
+		st.Runs++
+		if !run.infoCopy().Done {
 			st.Open++
 		}
 	}
 	return st
 }
 
+// runSnapshot copies the retained-run list (ascending epoch) out of the
+// runs lock, so per-run locks are taken without holding it.
+func (s *Store) runSnapshot() []*runState {
+	s.runsMu.RLock()
+	defer s.runsMu.RUnlock()
+	return append([]*runState(nil), s.runs...)
+}
+
 // Runs lists the retained runs in ascending epoch order.
 func (s *Store) Runs() []RunInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]RunInfo, len(s.runs))
-	for i, st := range s.runs {
-		out[i] = st.info
+	runs := s.runSnapshot()
+	out := make([]RunInfo, len(runs))
+	for i, st := range runs {
+		out[i] = st.infoCopy()
 	}
 	return out
 }
 
 // Run returns one run's info.
 func (s *Store) Run(run int) (RunInfo, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if st := s.runLocked(run); st != nil {
-		return st.info, true
+	if st := s.findRun(run); st != nil {
+		return st.infoCopy(), true
 	}
 	return RunInfo{}, false
 }
@@ -442,10 +576,9 @@ func (s *Store) Run(run int) (RunInfo, bool) {
 // LatestRun returns the newest finished run, optionally restricted to a
 // scenario ("" matches any).
 func (s *Store) LatestRun(scenario string) (RunInfo, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for i := len(s.runs) - 1; i >= 0; i-- {
-		info := s.runs[i].info
+	runs := s.runSnapshot()
+	for i := len(runs) - 1; i >= 0; i-- {
+		info := runs[i].infoCopy()
 		if info.Done && (scenario == "" || info.Scenario == scenario) {
 			return info, true
 		}
@@ -505,26 +638,31 @@ func (q Query) match(r StoredResult) bool {
 
 // Results returns the retained results matching the query, in global
 // ingestion order (ascending Seq); with Latest set, only the newest N.
-// The slice and its entries are copies — callers own them.
+// The slice and its entries are copies — callers own them. Shards are
+// visited one at a time (ingestion keeps flowing on the others); the
+// final sort by sequence number restores the global order.
 func (s *Store) Results(q Query) []StoredResult {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []StoredResult
-	for _, k := range s.keys {
-		if q.Scenario != "" && k.Scenario != q.Scenario {
-			continue
-		}
-		if q.Vantage != "" && k.Vantage != q.Vantage {
-			continue
-		}
-		if q.Measurement != "" && k.Measurement != q.Measurement {
-			continue
-		}
-		s.rings[k].each(func(r StoredResult) {
-			if q.match(r) {
-				out = append(out, r)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, k := range sh.keys {
+			if q.Scenario != "" && k.Scenario != q.Scenario {
+				continue
 			}
-		})
+			if q.Vantage != "" && k.Vantage != q.Vantage {
+				continue
+			}
+			if q.Measurement != "" && k.Measurement != q.Measurement {
+				continue
+			}
+			sh.rings[k].each(func(r StoredResult) {
+				if q.match(r) {
+					out = append(out, r)
+				}
+			})
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	if q.Latest > 0 && len(out) > q.Latest {
@@ -550,20 +688,15 @@ type RunSummary struct {
 // Summary returns one run's aggregate (false if the run was evicted or
 // never existed).
 func (s *Store) Summary(run int) (RunSummary, bool) {
-	s.mu.RLock()
-	st := s.runLocked(run)
+	st := s.findRun(run)
 	if st == nil {
-		s.mu.RUnlock()
 		return RunSummary{}, false
 	}
-	info := st.info
-	agg := st.agg
-	s.mu.RUnlock()
-	// AggregateSink has its own lock; reading it outside the store lock
+	// AggregateSink has its own lock; reading it outside the run lock
 	// keeps ingest flowing during summary marshalling.
-	out := RunSummary{RunInfo: info}
-	for _, v := range agg.Vantages() {
-		out.Vantages = append(out.Vantages, VantageSummary{Vantage: v, Tally: agg.TallyFor(v)})
+	out := RunSummary{RunInfo: st.infoCopy()}
+	for _, v := range st.agg.Vantages() {
+		out.Vantages = append(out.Vantages, VantageSummary{Vantage: v, Tally: st.agg.TallyFor(v)})
 	}
 	return out, true
 }
@@ -572,15 +705,11 @@ func (s *Store) Summary(run int) (RunSummary, bool) {
 // censor.AggregateSink would: same fold, same renderer, byte-for-byte
 // identical to draining the run's stream into an AggregateSink directly.
 func (s *Store) SummaryText(run int) (string, bool) {
-	s.mu.RLock()
-	st := s.runLocked(run)
+	st := s.findRun(run)
 	if st == nil {
-		s.mu.RUnlock()
 		return "", false
 	}
-	agg := st.agg
-	s.mu.RUnlock()
-	return agg.Summary(), true
+	return st.agg.Summary(), true
 }
 
 // VantageDelta is one vantage's blocklist churn between two runs.
@@ -600,20 +729,35 @@ type Delta struct {
 	Vantages []VantageDelta `json:"vantages"`
 }
 
+// blockedCopy snapshots a run's per-vantage blocked-domain sets under
+// its lock.
+func (st *runState) blockedCopy() map[string]map[string]bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]map[string]bool, len(st.blocked))
+	for v, set := range st.blocked {
+		cp := make(map[string]bool, len(set))
+		for d := range set {
+			cp[d] = true
+		}
+		out[v] = cp
+	}
+	return out
+}
+
 // DeltaSince computes per-vantage blocked-domain churn from run `from`
 // to run `to`. Vantages appear in the later run's first-write order,
 // then any vantage only the earlier run saw.
 func (s *Store) DeltaSince(from, to int) (Delta, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a := s.runLocked(from)
-	b := s.runLocked(to)
+	a := s.findRun(from)
+	b := s.findRun(to)
 	if a == nil {
 		return Delta{}, fmt.Errorf("monitor: run %d not retained", from)
 	}
 	if b == nil {
 		return Delta{}, fmt.Errorf("monitor: run %d not retained", to)
 	}
+	aBlocked, bBlocked := a.blockedCopy(), b.blockedCopy()
 	d := Delta{From: from, To: to}
 	vantages := append([]string(nil), b.agg.Vantages()...)
 	for _, v := range a.agg.Vantages() {
@@ -623,13 +767,13 @@ func (s *Store) DeltaSince(from, to int) (Delta, error) {
 	}
 	for _, v := range vantages {
 		vd := VantageDelta{Vantage: v}
-		for dom := range b.blocked[v] {
-			if !a.blocked[v][dom] {
+		for dom := range bBlocked[v] {
+			if !aBlocked[v][dom] {
 				vd.Added = append(vd.Added, dom)
 			}
 		}
-		for dom := range a.blocked[v] {
-			if !b.blocked[v][dom] {
+		for dom := range aBlocked[v] {
+			if !bBlocked[v][dom] {
 				vd.Removed = append(vd.Removed, dom)
 			}
 		}

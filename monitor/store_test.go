@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -354,6 +355,136 @@ func TestStoreSummaryMatchesAggregateSink(t *testing.T) {
 	}
 	if text == "" || !bytes.Contains([]byte(text), []byte("Airtel")) {
 		t.Fatalf("summary looks empty: %q", text)
+	}
+}
+
+// batchRes builds a mixed-key result set: several vantages and
+// measurements so batches cross ring (and shard) boundaries.
+func batchRes(n int) []censor.Result {
+	vantages := []string{"Airtel", "Idea", "Vodafone"}
+	measurements := []string{"dns", "http"}
+	out := make([]censor.Result, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, res(vantages[i%len(vantages)], measurements[(i/3)%len(measurements)],
+			fmt.Sprintf("d%03d.com", i), i%4 == 0))
+	}
+	return out
+}
+
+// TestStoreWriteBatchMatchesWrite pins the batch-ingest contract: a run
+// fed through WriteBatch (in uneven, key-crossing chunks) is
+// indistinguishable — results, sequence order, info row, summary — from
+// the same results fed one Write at a time.
+func TestStoreWriteBatchMatchesWrite(t *testing.T) {
+	results := batchRes(60)
+
+	single := NewStore(withClock(newFakeClock().Now))
+	ss := single.Begin("s", "test")
+	for _, r := range results {
+		if err := ss.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	ss.Flush()
+
+	batched := NewStore(withClock(newFakeClock().Now))
+	bs := batched.Begin("s", "test")
+	for start := 0; start < len(results); {
+		end := start + 7 // uneven chunks: batches straddle key groups
+		if end > len(results) {
+			end = len(results)
+		}
+		if err := bs.WriteBatch(results[start:end]); err != nil {
+			t.Fatalf("WriteBatch: %v", err)
+		}
+		start = end
+	}
+	bs.Flush()
+
+	sr, br := single.Results(Query{}), batched.Results(Query{})
+	if len(sr) != len(results) || len(br) != len(results) {
+		t.Fatalf("retained %d / %d results, want %d", len(sr), len(br), len(results))
+	}
+	for i := range sr {
+		if !reflect.DeepEqual(sr[i], br[i]) {
+			t.Fatalf("result %d diverged:\nwrite:      %+v\nwritebatch: %+v", i, sr[i], br[i])
+		}
+	}
+	si, _ := single.Run(ss.Run())
+	bi, _ := batched.Run(bs.Run())
+	if si != bi {
+		t.Errorf("run info diverged:\nwrite:      %+v\nwritebatch: %+v", si, bi)
+	}
+	st, _ := single.SummaryText(ss.Run())
+	bt, _ := batched.SummaryText(bs.Run())
+	if st != bt {
+		t.Errorf("summary diverged:\n--- write ---\n%s\n--- writebatch ---\n%s", st, bt)
+	}
+	if ss, bs := single.Stats(), batched.Stats(); ss != bs {
+		t.Errorf("stats diverged: %+v vs %+v", ss, bs)
+	}
+}
+
+// TestStoreWriteBatchAfterFlush mirrors the Write-after-Flush guard on
+// the batch path.
+func TestStoreWriteBatchAfterFlush(t *testing.T) {
+	store := NewStore()
+	sink := store.Begin("s", "test")
+	if err := sink.WriteBatch(batchRes(3)); err != nil {
+		t.Fatalf("WriteBatch: %v", err)
+	}
+	sink.Flush()
+	if err := sink.WriteBatch(batchRes(3)); err == nil {
+		t.Fatal("WriteBatch after Flush succeeded, want error")
+	}
+	if st := store.Stats(); st.Ingested != 3 {
+		t.Errorf("Ingested = %d, want 3", st.Ingested)
+	}
+}
+
+// TestStoreConcurrentBatchIngest exercises the sharded write path the
+// way censord's batched drains do: several runs batch-ingesting at once
+// while queries interleave, with counters checked at the end.
+func TestStoreConcurrentBatchIngest(t *testing.T) {
+	store := NewStore(WithRingSize(64))
+	const writers, batches, perBatch = 4, 25, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sink := store.Begin(fmt.Sprintf("s%d", w), "test")
+			chunk := batchRes(perBatch)
+			for i := 0; i < batches; i++ {
+				if err := sink.WriteBatch(chunk); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				store.Results(Query{Scenario: fmt.Sprintf("s%d", w), Latest: 5})
+			}
+			sink.Flush()
+		}(w)
+	}
+	wg.Wait()
+	st := store.Stats()
+	if want := uint64(writers * batches * perBatch); st.Ingested != want {
+		t.Errorf("Ingested = %d, want %d", st.Ingested, want)
+	}
+	if st.Open != 0 {
+		t.Errorf("Open = %d, want 0", st.Open)
+	}
+	// Sequence numbers must be unique and the per-run tallies complete.
+	seen := map[uint64]bool{}
+	for _, r := range store.Results(Query{}) {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate Seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+	for _, info := range store.Runs() {
+		if info.Results != batches*perBatch {
+			t.Errorf("run %d rolled up %d results, want %d", info.Run, info.Results, batches*perBatch)
+		}
 	}
 }
 
